@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_*.py`` file regenerates one table or figure of the paper at
+the ``bench`` scale (the smallest parameter grid) and reports the wall-clock
+cost through pytest-benchmark.  The resulting rows are attached to the
+benchmark's ``extra_info`` so `pytest benchmarks/ --benchmark-only` output can
+be inspected for the reproduced series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one experiment once under pytest-benchmark and sanity-check it."""
+
+    def _run(name: str, scale: str = "bench", seed: int = 0):
+        result = benchmark.pedantic(
+            lambda: run_experiment(name, scale=scale, seed=seed),
+            rounds=1, iterations=1,
+        )
+        assert result.rows, f"{name} produced no rows"
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["rows"] = len(result.rows)
+        benchmark.extra_info["table"] = result.format_table()
+        return result
+
+    return _run

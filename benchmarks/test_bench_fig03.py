@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 3: DT healthy vs anomalous queue/threshold dynamics."""
+
+
+def test_bench_fig03(run_figure):
+    """Regenerate Figure 3 at bench scale and sanity-check its shape."""
+    result = run_figure("fig03")
+    by_case = {row["case"]: row for row in result.rows}
+    assert by_case["anomalous"]["q2_drops"] > by_case["healthy"]["q2_drops"]

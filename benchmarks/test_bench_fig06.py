@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 6: QCT degradation from DT anomalous behaviour."""
+
+
+def test_bench_fig06(run_figure):
+    """Regenerate Figure 6 at bench scale and sanity-check its shape."""
+    result = run_figure("fig06")
+    assert all(row["qct_with_competitor_ms"] >= 0 for row in result.rows)

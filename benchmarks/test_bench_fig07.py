@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 7: buffer / memory-bandwidth utilization CDFs under DT."""
+
+
+def test_bench_fig07(run_figure):
+    """Regenerate Figure 7 at bench scale and sanity-check its shape."""
+    result = run_figure("fig07")
+    assert all(0.0 <= row["p99_util"] <= 1.0 for row in result.rows)

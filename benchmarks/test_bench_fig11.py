@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 11: queue-length evolution, Occamy vs DT."""
+
+
+def test_bench_fig11(run_figure):
+    """Regenerate Figure 11 at bench scale and sanity-check its shape."""
+    result = run_figure("fig11")
+    occamy_rows = result.filter(scheme="occamy")
+    assert all(row["burst_drops"] == 0 for row in occamy_rows)

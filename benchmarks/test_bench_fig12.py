@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 12: burst absorption loss rate vs burst size."""
+
+
+def test_bench_fig12(run_figure):
+    """Regenerate Figure 12 at bench scale and sanity-check its shape."""
+    result = run_figure("fig12")
+    for row in result.filter(scheme="occamy"):
+        dt = result.filter(scheme="dt", alpha=row["alpha"], burst_kb=row["burst_kb"])[0]
+        assert row["loss_rate"] <= dt["loss_rate"] + 1e-9

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 13: QCT/FCT vs query size on the software-switch testbed."""
+
+
+def test_bench_fig13(run_figure):
+    """Regenerate Figure 13 at bench scale and sanity-check its shape."""
+    result = run_figure("fig13")
+    assert {row["scheme"] for row in result.rows} >= {"occamy", "dt"}

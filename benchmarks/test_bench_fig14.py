@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 14: performance isolation across DRR service queues."""
+
+
+def test_bench_fig14(run_figure):
+    """Regenerate Figure 14 at bench scale and sanity-check its shape."""
+    result = run_figure("fig14")
+    assert all(row["avg_qct_ms"] > 0 for row in result.rows)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 15: buffer-choking mitigation under strict priority."""
+
+
+def test_bench_fig15(run_figure):
+    """Regenerate Figure 15 at bench scale and sanity-check its shape."""
+    result = run_figure("fig15")
+    assert all(row["qct_without_bg_ms"] > 0 for row in result.rows)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 16: impact of the alpha parameter on DT and Occamy."""
+
+
+def test_bench_fig16(run_figure):
+    """Regenerate Figure 16 at bench scale and sanity-check its shape."""
+    result = run_figure("fig16")
+    assert {row["scheme"] for row in result.rows} == {"dt", "occamy"}

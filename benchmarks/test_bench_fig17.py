@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 17: leaf-spine web-search QCT/FCT slowdowns."""
+
+
+def test_bench_fig17(run_figure):
+    """Regenerate Figure 17 at bench scale and sanity-check its shape."""
+    result = run_figure("fig17")
+    assert all(row["avg_qct_slowdown"] >= 1.0 for row in result.rows)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 18: all-to-all background traffic."""
+
+
+def test_bench_fig18(run_figure):
+    """Regenerate Figure 18 at bench scale and sanity-check its shape."""
+    result = run_figure("fig18")
+    assert all(row["avg_qct_slowdown"] > 0 for row in result.rows)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 19: all-reduce (double binary tree) background traffic."""
+
+
+def test_bench_fig19(run_figure):
+    """Regenerate Figure 19 at bench scale and sanity-check its shape."""
+    result = run_figure("fig19")
+    assert all(row["avg_qct_slowdown"] > 0 for row in result.rows)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 20: higher query-traffic load sweep."""
+
+
+def test_bench_fig20(run_figure):
+    """Regenerate Figure 20 at bench scale and sanity-check its shape."""
+    result = run_figure("fig20")
+    assert all(row["avg_qct_slowdown"] > 0 for row in result.rows)

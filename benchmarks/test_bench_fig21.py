@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 21: round-robin vs longest-queue drop ablation."""
+
+
+def test_bench_fig21(run_figure):
+    """Regenerate Figure 21 at bench scale and sanity-check its shape."""
+    result = run_figure("fig21")
+    policies = {row["victim_policy"] for row in result.rows}
+    assert policies == {"round_robin", "longest"}

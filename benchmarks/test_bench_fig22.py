@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 22: heavy (120%) network load."""
+
+
+def test_bench_fig22(run_figure):
+    """Regenerate Figure 22 at bench scale and sanity-check its shape."""
+    result = run_figure("fig22")
+    assert all(row["avg_qct_slowdown"] > 0 for row in result.rows)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Figure 23: buffer-size sweep (KB per port per Gbps)."""
+
+
+def test_bench_fig23(run_figure):
+    """Regenerate Figure 23 at bench scale and sanity-check its shape."""
+    result = run_figure("fig23")
+    assert all(row["avg_qct_slowdown"] > 0 for row in result.rows)

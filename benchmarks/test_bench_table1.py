@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 1: hardware cost of the Occamy components."""
+
+
+def test_bench_table1(run_figure):
+    """Regenerate Table 1 at bench scale and sanity-check its shape."""
+    result = run_figure("table1")
+    modules = {row["module"] for row in result.rows}
+    assert {"selector", "arbiter", "executor"} <= modules

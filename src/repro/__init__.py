@@ -1,0 +1,51 @@
+"""Occamy reproduction: preemptive buffer management for on-chip shared-memory switches.
+
+This package reproduces the system described in *Occamy: A Preemptive Buffer
+Management for On-chip Shared-memory Switches* (EuroSys 2025) as a pure-Python
+library.  It contains:
+
+* :mod:`repro.sim` -- a discrete-event simulation kernel.
+* :mod:`repro.switchsim` -- a cell-granularity model of an on-chip
+  shared-memory traffic manager (packet buffer, queues, schedulers, memory
+  bandwidth).
+* :mod:`repro.core` -- buffer management schemes: Dynamic Threshold, static
+  thresholds, ABM, Pushout and the paper's contribution, Occamy.
+* :mod:`repro.netsim` -- a packet-level network simulator (hosts, links, DCTCP
+  and other transports, ECMP) whose switches embed the traffic manager model.
+* :mod:`repro.topology`, :mod:`repro.workloads`, :mod:`repro.metrics` --
+  topologies, datacenter workloads and measurement helpers.
+* :mod:`repro.hw` -- analytical hardware-cost models for the Occamy circuits.
+* :mod:`repro.experiments` -- one harness per paper figure/table.
+"""
+
+from repro.core import (
+    ABM,
+    BufferManager,
+    CompletePartitioning,
+    CompleteSharing,
+    DynamicThreshold,
+    Occamy,
+    Pushout,
+    StaticThreshold,
+    make_buffer_manager,
+)
+from repro.switchsim import SharedMemorySwitch, SwitchConfig
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABM",
+    "BufferManager",
+    "CompletePartitioning",
+    "CompleteSharing",
+    "DynamicThreshold",
+    "Occamy",
+    "Pushout",
+    "StaticThreshold",
+    "SharedMemorySwitch",
+    "Simulator",
+    "SwitchConfig",
+    "make_buffer_manager",
+    "__version__",
+]

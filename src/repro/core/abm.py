@@ -1,0 +1,67 @@
+"""ABM: Active Buffer Management (Addanki et al., SIGCOMM 2022), simplified.
+
+ABM keeps DT's proportionality to the free buffer but additionally divides the
+allowance by the number of *active* queues of the same priority and scales it
+by the queue's normalized drain rate::
+
+    T_i(t) = alpha_p / n_active(p) * (B - sum_j q_j(t)) * (mu_i / C)
+
+where ``mu_i`` is queue *i*'s recent dequeue (drain) rate and ``C`` the port
+capacity.  Dividing by the number of active queues bounds the total buffer
+occupancy independently of the workload, and scaling by the drain rate bounds
+how long a queue can take to drain -- which is what gives ABM its performance
+isolation properties.
+
+The reproduction uses the drain-rate estimate maintained by the switch (an
+exponentially weighted average of bytes dequeued per second, normalized by the
+port rate).  Queues that have never dequeued anything (newly active queues)
+are given a normalized drain rate of 1 so they are not starved before their
+first transmission, matching the "unscheduled packet" handling in the ABM
+paper's artifact.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BufferManager, QueueView, clamp_threshold
+
+
+class ABM(BufferManager):
+    """Active Buffer Management with per-priority active-queue counting."""
+
+    name = "abm"
+
+    def __init__(self, alpha: float = 2.0, min_drain_fraction: float = 0.05) -> None:
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if not 0 < min_drain_fraction <= 1:
+            raise ValueError("min_drain_fraction must be in (0, 1]")
+        self.alpha = alpha
+        #: Lower bound on the normalized drain rate so that very slowly
+        #: draining queues still receive a nonzero allowance.
+        self.min_drain_fraction = min_drain_fraction
+
+    def threshold(self, queue: QueueView, now: float) -> float:
+        switch = self._require_switch()
+        alpha = self.effective_alpha(queue, self.alpha)
+        n_active = max(1, switch.active_queue_count(priority=queue.priority))
+        drain = self._normalized_drain(queue)
+        return clamp_threshold(alpha / n_active * switch.free_buffer_bytes * drain)
+
+    def _normalized_drain(self, queue: QueueView) -> float:
+        """Normalized drain rate in (0, 1]; inactive/new queues get 1.0."""
+        switch = self._require_switch()
+        port_rate_bytes = switch.port_rate_bytes_per_sec(queue.port_id)
+        if port_rate_bytes <= 0:
+            return 1.0
+        estimate = queue.drain_rate_estimate
+        if estimate <= 0:
+            # A queue that has not dequeued anything yet (e.g. a newly active
+            # queue hit by a burst) is treated as draining at full rate so it
+            # is not starved before its first transmission.
+            return 1.0
+        fraction = estimate / port_rate_bytes
+        return min(1.0, max(self.min_drain_fraction, fraction))
+
+    def describe(self) -> str:
+        return f"abm(alpha={self.alpha})"

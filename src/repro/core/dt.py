@@ -1,0 +1,52 @@
+"""Dynamic Threshold (DT) -- the de facto non-preemptive buffer manager.
+
+DT (Choudhury & Hahne, ToN 1998) limits every queue to a threshold that is
+proportional to the *free* buffer::
+
+    T(t) = alpha * (B - sum_i q_i(t))
+
+A larger ``alpha`` lets a queue absorb more of the buffer (higher efficiency)
+but reserves less headroom for newly active queues (lower agility/fairness).
+In the steady state with ``N`` congested queues the reserved free buffer is
+``B / (1 + alpha * N)`` (Eq. 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BufferManager, QueueView, clamp_threshold
+
+
+class DynamicThreshold(BufferManager):
+    """The Dynamic Threshold scheme with a per-queue overridable ``alpha``."""
+
+    name = "dt"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def threshold(self, queue: QueueView, now: float) -> float:
+        switch = self._require_switch()
+        alpha = self.effective_alpha(queue, self.alpha)
+        return clamp_threshold(alpha * switch.free_buffer_bytes)
+
+    # ------------------------------------------------------------------
+    # Analytical helpers (used by experiments and tests)
+    # ------------------------------------------------------------------
+    def steady_state_free_buffer(self, n_congested: int, buffer_bytes: float) -> float:
+        """Reserved free buffer with ``n_congested`` saturated queues (Eq. 2)."""
+        if n_congested < 0:
+            raise ValueError("number of congested queues cannot be negative")
+        return buffer_bytes / (1.0 + self.alpha * n_congested)
+
+    def steady_state_queue_length(self, n_congested: int, buffer_bytes: float) -> float:
+        """Per-queue steady-state occupancy with ``n_congested`` saturated queues."""
+        if n_congested <= 0:
+            raise ValueError("need at least one congested queue")
+        free = self.steady_state_free_buffer(n_congested, buffer_bytes)
+        return self.alpha * free
+
+    def describe(self) -> str:
+        return f"dt(alpha={self.alpha})"

@@ -1,0 +1,258 @@
+"""Occamy's reactive component: the packet-expulsion engine.
+
+The engine mirrors the egress-side datapath of Figure 8/9 in the paper:
+
+* a **head-drop selector** keeps a bitmap with one bit per queue, set when the
+  queue's length exceeds the admission threshold ``T(t)``, and iterates over
+  the set bits with a round-robin arbiter;
+* a **fixed-priority arbiter** makes head drops yield to the output scheduler
+  -- modelled here through a :class:`TokenBucket` that only grants expulsions
+  out of *redundant* memory bandwidth (the same token-bucket construction as
+  the paper's DPDK prototype, Section 5.3);
+* a **head-drop executor** dequeues the victim packet's descriptor and returns
+  its cell pointers to the free list without touching cell data memory.
+
+The engine is policy-agnostic: it asks the attached buffer manager which
+queues are over-allocated, so it can serve both round-robin Occamy and the
+longest-queue-drop variant evaluated in Figure 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import BufferManager
+    from repro.switchsim.switch import SharedMemorySwitch
+
+
+class TokenBucket:
+    """A continuous-time token bucket measured in buffer cells.
+
+    Tokens are generated at ``rate_cells_per_sec`` and capped at
+    ``capacity_cells``.  The forwarding (TX) path is always allowed to consume
+    tokens, even driving the balance negative, because line-rate forwarding
+    must never be blocked; the expulsion path may only consume tokens that are
+    actually available.  This reproduces the prototype's accounting of
+    *redundant* memory bandwidth.
+    """
+
+    def __init__(self, rate_cells_per_sec: float, capacity_cells: float) -> None:
+        if rate_cells_per_sec <= 0:
+            raise ValueError("token rate must be positive")
+        if capacity_cells <= 0:
+            raise ValueError("capacity must be positive")
+        self.rate = rate_cells_per_sec
+        self.capacity = capacity_cells
+        self._tokens = capacity_cells
+        self._last_update = 0.0
+        #: Cumulative cells consumed by forwarding vs. expulsion (statistics).
+        self.forward_cells_consumed = 0.0
+        self.expel_cells_consumed = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_update:
+            # Defensive: callers must use a monotonic clock, but a tiny
+            # floating-point regression should not corrupt the balance.
+            now = self._last_update
+        elapsed = now - self._last_update
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last_update = now
+
+    def available(self, now: float) -> float:
+        """Tokens (cells) available at time ``now``."""
+        self._refill(now)
+        return self._tokens
+
+    def consume_forwarding(self, cells: float, now: float) -> None:
+        """Consume tokens for normal forwarding; may drive the balance negative."""
+        if cells < 0:
+            raise ValueError("cells must be non-negative")
+        self._refill(now)
+        self._tokens -= cells
+        self.forward_cells_consumed += cells
+
+    def try_consume_expulsion(self, cells: float, now: float) -> bool:
+        """Consume tokens for an expulsion iff enough are available.
+
+        A small epsilon absorbs floating-point residue so that a balance of
+        7.999999999 cells still covers an 8-cell packet.
+        """
+        if cells < 0:
+            raise ValueError("cells must be non-negative")
+        self._refill(now)
+        if self._tokens + 1e-9 < cells:
+            return False
+        self._tokens -= cells
+        self.expel_cells_consumed += cells
+        return True
+
+    def time_until(self, cells: float, now: float) -> float:
+        """Seconds until ``cells`` tokens will be available (0 if already)."""
+        self._refill(now)
+        deficit = cells - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+    def utilization(self) -> float:
+        """Fraction of consumed tokens that went to forwarding (diagnostics)."""
+        total = self.forward_cells_consumed + self.expel_cells_consumed
+        if total == 0:
+            return 0.0
+        return self.forward_cells_consumed / total
+
+
+class RoundRobinPointer:
+    """The round-robin arbiter of the head-drop selector (functional model).
+
+    Given a bitmap of eligible queues, return the first eligible index at or
+    after the pointer, then advance the pointer past it -- exactly the grant
+    behaviour of the combinational round-robin arbiters used in crossbar
+    schedulers.
+    """
+
+    def __init__(self) -> None:
+        self._pointer = 0
+
+    @property
+    def pointer(self) -> int:
+        return self._pointer
+
+    def grant(self, bitmap: Sequence[bool]) -> Optional[int]:
+        """Pick the next set bit in round-robin order, or None if none set."""
+        n = len(bitmap)
+        if n == 0:
+            return None
+        start = self._pointer % n
+        for offset in range(n):
+            idx = (start + offset) % n
+            if bitmap[idx]:
+                self._pointer = (idx + 1) % n
+                return idx
+        return None
+
+    def reset(self) -> None:
+        self._pointer = 0
+
+
+@dataclass
+class HeadDropSelector:
+    """Bitmap of over-allocated queues plus a round-robin arbiter (Figure 9)."""
+
+    num_queues: int
+    arbiter: RoundRobinPointer = field(default_factory=RoundRobinPointer)
+
+    def __post_init__(self) -> None:
+        if self.num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.bitmap: List[bool] = [False] * self.num_queues
+
+    def update(self, over_allocated_flags: Iterable[bool]) -> None:
+        """Refresh the bitmap from per-queue comparator outputs."""
+        flags = list(over_allocated_flags)
+        if len(flags) != self.num_queues:
+            raise ValueError(
+                f"expected {self.num_queues} flags, got {len(flags)}"
+            )
+        self.bitmap = flags
+
+    def any_over_allocated(self) -> bool:
+        return any(self.bitmap)
+
+    def select(self) -> Optional[int]:
+        """Return the index of the next over-allocated queue, round-robin."""
+        return self.arbiter.grant(self.bitmap)
+
+    def select_longest(self, lengths: Sequence[int]) -> Optional[int]:
+        """Return the longest over-allocated queue (Figure 21 variant)."""
+        best_idx: Optional[int] = None
+        best_len = -1
+        for idx, flag in enumerate(self.bitmap):
+            if flag and lengths[idx] > best_len:
+                best_idx = idx
+                best_len = lengths[idx]
+        return best_idx
+
+
+@dataclass
+class ExpulsionResult:
+    """Outcome of one :meth:`ExpulsionEngine.run` invocation."""
+
+    expelled_packets: int = 0
+    expelled_bytes: int = 0
+    blocked_on_tokens: bool = False
+    #: Seconds until enough tokens for the next pending expulsion (0 if not blocked).
+    retry_after: float = 0.0
+
+
+class ExpulsionEngine:
+    """Drives head drops for over-allocated queues using redundant bandwidth.
+
+    The engine is owned by a :class:`~repro.switchsim.switch.SharedMemorySwitch`
+    and invoked opportunistically after enqueues and dequeues.  Each invocation
+    expels as many packets as the token bucket allows (bounded by
+    ``max_drops_per_run`` to keep single events cheap), then reports whether it
+    is blocked waiting for memory bandwidth so the switch can schedule a retry.
+    """
+
+    def __init__(
+        self,
+        switch: "SharedMemorySwitch",
+        manager: "BufferManager",
+        token_bucket: TokenBucket,
+        victim_policy: str = "round_robin",
+        max_drops_per_run: int = 64,
+    ) -> None:
+        if victim_policy not in ("round_robin", "longest"):
+            raise ValueError(f"unknown victim policy: {victim_policy!r}")
+        self.switch = switch
+        self.manager = manager
+        self.token_bucket = token_bucket
+        self.victim_policy = victim_policy
+        self.max_drops_per_run = max_drops_per_run
+        self.selector = HeadDropSelector(num_queues=switch.total_queue_count)
+        #: Cumulative statistics.
+        self.total_expelled_packets = 0
+        self.total_expelled_bytes = 0
+
+    def run(self, now: float) -> ExpulsionResult:
+        """Expel head packets from over-allocated queues while bandwidth allows."""
+        result = ExpulsionResult()
+        for _ in range(self.max_drops_per_run):
+            views = self.switch.queue_views()
+            flags = [self.manager.over_allocated(view, now) for view in views]
+            self.selector.update(flags)
+            if not self.selector.any_over_allocated():
+                break
+            if self.victim_policy == "longest":
+                lengths = [view.length_bytes for view in views]
+                victim_index = self.selector.select_longest(lengths)
+            else:
+                victim_index = self.selector.select()
+            if victim_index is None:
+                break
+            victim = views[victim_index]
+            head_bytes = self.switch.head_packet_bytes(victim.queue_id)
+            if head_bytes is None:
+                # Queue emptied between the comparator snapshot and now.
+                continue
+            cells = self.switch.cells_for_bytes(head_bytes)
+            if not self.token_bucket.try_consume_expulsion(cells, now):
+                result.blocked_on_tokens = True
+                # Never retry more often than one cell-time: retrying on
+                # sub-cell token deficits would flood the event queue.
+                result.retry_after = max(
+                    self.token_bucket.time_until(cells, now),
+                    1.0 / self.token_bucket.rate,
+                )
+                break
+            dropped = self.switch.head_drop(victim.queue_id, now)
+            if dropped is None:
+                continue
+            result.expelled_packets += 1
+            result.expelled_bytes += dropped
+            self.total_expelled_packets += 1
+            self.total_expelled_bytes += dropped
+        return result

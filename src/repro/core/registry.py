@@ -1,0 +1,60 @@
+"""A small registry mapping scheme names to buffer-manager factories.
+
+Experiments and the CLI refer to schemes by name (``"dt"``, ``"occamy"``,
+``"abm"``, ``"pushout"``, ...); the registry turns those names plus keyword
+arguments into configured :class:`~repro.core.base.BufferManager` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.abm import ABM
+from repro.core.base import BufferManager
+from repro.core.dt import DynamicThreshold
+from repro.core.occamy import Occamy, OccamyLongestDrop
+from repro.core.pushout import Pushout
+from repro.core.static import CompletePartitioning, CompleteSharing, StaticThreshold
+
+_FACTORIES: Dict[str, Callable[..., BufferManager]] = {}
+
+
+def register_scheme(name: str, factory: Callable[..., BufferManager]) -> None:
+    """Register a new scheme factory under ``name`` (overwrites existing)."""
+    if not name:
+        raise ValueError("scheme name must be non-empty")
+    _FACTORIES[name] = factory
+
+
+def available_schemes() -> List[str]:
+    """Names of all registered schemes, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_buffer_manager(name: str, **kwargs) -> BufferManager:
+    """Instantiate the scheme registered under ``name`` with ``kwargs``.
+
+    Raises:
+        KeyError: if no scheme with that name is registered.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown buffer management scheme {name!r}; "
+            f"available: {', '.join(available_schemes())}"
+        ) from None
+    return factory(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in schemes
+# ----------------------------------------------------------------------
+register_scheme("dt", DynamicThreshold)
+register_scheme("abm", ABM)
+register_scheme("pushout", Pushout)
+register_scheme("occamy", Occamy)
+register_scheme("occamy_longest", OccamyLongestDrop)
+register_scheme("complete_sharing", CompleteSharing)
+register_scheme("complete_partitioning", CompletePartitioning)
+register_scheme("static_threshold", StaticThreshold)

@@ -1,0 +1,67 @@
+"""Classic static buffer-sharing policies.
+
+These predate DT and serve both as historical baselines and as useful
+degenerate cases in tests:
+
+* :class:`CompleteSharing` -- no per-queue limit at all; a packet is accepted
+  whenever the shared buffer has room.  Maximally efficient, maximally unfair.
+* :class:`CompletePartitioning` -- the buffer is statically divided equally
+  among all queues.  Maximally fair, inefficient.
+* :class:`StaticThreshold` -- every queue is capped at a fixed byte limit
+  (SMXQ-style).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.base import BufferManager, QueueView
+
+
+class CompleteSharing(BufferManager):
+    """Admit whenever there is free buffer; never restrict individual queues."""
+
+    name = "complete_sharing"
+
+    def threshold(self, queue: QueueView, now: float) -> float:
+        return math.inf
+
+
+class CompletePartitioning(BufferManager):
+    """Statically partition the buffer equally across all queues."""
+
+    name = "complete_partitioning"
+
+    def threshold(self, queue: QueueView, now: float) -> float:
+        switch = self._require_switch()
+        n_queues = max(1, switch.total_queue_count)
+        return switch.buffer_size_bytes / n_queues
+
+
+class StaticThreshold(BufferManager):
+    """Cap every queue at a fixed byte threshold (SMXQ).
+
+    Args:
+        threshold_bytes: the per-queue cap.  If ``None``, the cap defaults to
+            the buffer size divided by the number of ports, computed lazily at
+            admission time.
+    """
+
+    name = "static_threshold"
+
+    def __init__(self, threshold_bytes: Optional[float] = None) -> None:
+        super().__init__()
+        if threshold_bytes is not None and threshold_bytes <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold_bytes = threshold_bytes
+
+    def threshold(self, queue: QueueView, now: float) -> float:
+        if self.threshold_bytes is not None:
+            return self.threshold_bytes
+        switch = self._require_switch()
+        n_ports = max(1, switch.port_count)
+        return switch.buffer_size_bytes / n_ports
+
+    def describe(self) -> str:
+        return f"static_threshold(bytes={self.threshold_bytes})"

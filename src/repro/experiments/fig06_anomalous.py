@@ -1,0 +1,121 @@
+"""Figure 6: QCT degradation caused by DT's anomalous behaviour.
+
+Two sub-experiments, both DT-only (they motivate the need for Occamy):
+
+* **6(a) buffer choking** -- high-priority incast queries share an egress port
+  with low-priority long-lived background flows under strict-priority
+  scheduling.  DT is configured so that the query traffic deserves the same
+  buffer with or without the background (alpha = 8 with background, 1
+  without), yet the measured QCT degrades by several x with background because
+  the slowly draining low-priority queues hold the buffer hostage.
+* **6(b) inter-port influence** -- the same comparison but with the background
+  congesting *different* ports, isolating the effect of a high arrival rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ScenarioConfig,
+    get_scale,
+    run_single_switch,
+)
+from repro.metrics.percentiles import mean
+from repro.sim.rng import SeededRNG
+from repro.workloads import PoissonFlowGenerator, WEB_SEARCH_DISTRIBUTION
+from repro.workloads.spec import FlowSpec
+
+
+def _long_lived_background(config: ScenarioConfig, hosts: List[int], client: int,
+                           priority: int, seed: int) -> List[FlowSpec]:
+    """Long-lived low-priority flows from two hosts towards the query client."""
+    senders = [h for h in hosts if h != client][:2]
+    flows: List[FlowSpec] = []
+    size = int(config.link_rate_bps / 8 * config.duration)  # enough to last the run
+    for idx, sender in enumerate(senders):
+        for k in range(7):
+            flows.append(
+                FlowSpec(src=sender, dst=client, size_bytes=max(size, 100_000),
+                         start_time=0.0, priority=priority)
+            )
+    return flows
+
+
+def _avg_qct(scheme_kwargs: dict) -> float:
+    run_result = run_single_switch(**scheme_kwargs)
+    return run_result.flow_stats.average_qct()
+
+
+def run(scale: str = "small", seed: int = 0,
+        query_fractions: Optional[Iterable[float]] = None) -> ExperimentResult:
+    """Average QCT with and without competing traffic, for both sub-figures."""
+    config = get_scale(scale)
+    if query_fractions is None:
+        query_fractions = (0.3, 0.6, 1.0) if scale != "bench" else (0.5,)
+
+    buffer_bytes = int(config.buffer_kb_per_port_per_gbps * 1024
+                       * config.num_hosts * config.link_rate_bps / 1e9)
+    result = ExperimentResult(
+        "fig06_anomalous_behavior",
+        notes="DT only; QCT degradation from buffer choking (a) and inter-port bursts (b)",
+    )
+
+    for fraction in query_fractions:
+        query_size = int(fraction * buffer_bytes)
+
+        # ---- (a) buffer choking: queries and background share a port -------
+        hosts = list(range(config.num_hosts))
+        client = hosts[0]
+        lp_flows = _long_lived_background(config, hosts, client, priority=1, seed=seed)
+        with_lp = run_single_switch(
+            scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
+            include_background=False, queues_per_port=2, scheduler="strict",
+            query_priority=0, alpha_overrides={0: 8.0, 1: 1.0},
+            extra_flows=lp_flows, background_transport="cubic",
+        )
+        without_lp = run_single_switch(
+            scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
+            include_background=False, queues_per_port=2, scheduler="strict",
+            query_priority=0, alpha_overrides={0: 1.0, 1: 1.0},
+        )
+        result.add_row(
+            subfigure="a_buffer_choking",
+            query_size_frac=fraction,
+            qct_with_competitor_ms=with_lp.flow_stats.average_qct() * 1e3,
+            qct_without_competitor_ms=without_lp.flow_stats.average_qct() * 1e3,
+            degradation=(
+                with_lp.flow_stats.average_qct()
+                / max(1e-9, without_lp.flow_stats.average_qct())
+            ),
+        )
+
+        # ---- (b) inter-port influence: background on other ports -----------
+        with_bg = run_single_switch(
+            scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
+            background_load=0.6, include_background=True,
+        )
+        without_bg = run_single_switch(
+            scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
+            include_background=False,
+        )
+        result.add_row(
+            subfigure="b_inter_port",
+            query_size_frac=fraction,
+            qct_with_competitor_ms=with_bg.flow_stats.average_qct() * 1e3,
+            qct_without_competitor_ms=without_bg.flow_stats.average_qct() * 1e3,
+            degradation=(
+                with_bg.flow_stats.average_qct()
+                / max(1e-9, without_bg.flow_stats.average_qct())
+            ),
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,137 @@
+"""Figure 11: queue-length evolution of Occamy vs DT (P4 testbed scenario).
+
+One sender pushes long-lived traffic at 100 Gbps towards receiver 1 (a 10 Gbps
+port), keeping that queue at its DT threshold.  A short burst (~0.8 us at
+100 Gbps in the paper; scaled here to a configurable size) then arrives for
+receiver 2 (another 10 Gbps port).  With Occamy, the over-allocated queue 1 is
+actively drained by head drops so queue 2 reaches its fair share without
+dropping packets; with DT and a large alpha, queue 2 drops packets before it
+is allocated its fair share.
+
+The run reports, per (scheme, alpha): the burst's drop count, queue 2's
+maximum length, queue 1's length at the end of the burst, and the threshold at
+that time -- the quantities visible in the paper's time-series plots.  The raw
+traces are also returned for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core import DynamicThreshold, Occamy
+from repro.experiments.common import ExperimentResult
+from repro.metrics.timeseries import QueueLengthSeries, trace_to_series
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, KB, MB
+from repro.switchsim.packet import Packet
+from repro.switchsim.switch import SharedMemorySwitch, SwitchConfig
+from repro.workloads.burst import burst_arrivals, constant_rate_arrivals
+
+
+@dataclass
+class EvolutionTrace:
+    """Raw traces of one run (for plotting)."""
+
+    scheme: str
+    alpha: float
+    q1: QueueLengthSeries
+    q2: QueueLengthSeries
+
+
+def drive_burst_scenario(
+    scheme: str,
+    alpha: float,
+    burst_bytes: int = 600 * KB,
+    buffer_bytes: int = 2 * MB,
+    sender_rate_bps: float = 100 * GBPS,
+    port_rate_bps: float = 10 * GBPS,
+    warmup: float = 300e-6,
+    tail: float = 300e-6,
+    chip_ports: int = 32,
+) -> SharedMemorySwitch:
+    """Run the long-lived + burst scenario for one (scheme, alpha) pair.
+
+    Only two ports carry traffic, but the chip is dimensioned for
+    ``chip_ports`` ports (the paper's Tofino has far more switching capacity
+    than the two 10 Gbps receivers), so its memory bandwidth leaves plenty of
+    redundant read bandwidth for Occamy's expulsions.
+    """
+    sim = Simulator()
+    config = SwitchConfig(
+        num_ports=2,
+        queues_per_port=1,
+        port_rate_bps=port_rate_bps,
+        buffer_bytes=buffer_bytes,
+        trace_queues=True,
+        memory_bandwidth_bps=2 * chip_ports * port_rate_bps,
+        name="fig11",
+    )
+    if scheme == "occamy":
+        manager = Occamy(alpha=alpha)
+    elif scheme == "dt":
+        manager = DynamicThreshold(alpha=alpha)
+    else:
+        raise ValueError(f"figure 11 compares occamy and dt, not {scheme!r}")
+    switch = SharedMemorySwitch(config, manager, sim)
+
+    burst_start = warmup
+    burst_time = burst_bytes * 8 / sender_rate_bps
+    total = warmup + burst_time + tail
+
+    for t, size in constant_rate_arrivals(sender_rate_bps, total):
+        sim.at(t, lambda s=size: switch.receive(Packet(size_bytes=s), 0))
+    for t, size in burst_arrivals(burst_bytes, sender_rate_bps, start_time=burst_start):
+        sim.at(t, lambda s=size: switch.receive(Packet(size_bytes=s), 1))
+    sim.run(until=total)
+    return switch
+
+
+def run(scale: str = "small", seed: int = 0,
+        alphas: Tuple[float, ...] = (1.0, 4.0)) -> ExperimentResult:
+    """Queue-length evolution summary for Occamy and DT at each alpha."""
+    del seed  # deterministic experiment
+    burst_bytes = 400 * KB if scale == "bench" else 600 * KB
+    result = ExperimentResult(
+        "fig11_queue_evolution",
+        notes="long-lived traffic on q1, burst on q2; P4 prototype scenario",
+    )
+    result.traces: List[EvolutionTrace] = []  # type: ignore[attr-defined]
+    for scheme in ("occamy", "dt"):
+        for alpha in alphas:
+            switch = drive_burst_scenario(scheme, alpha, burst_bytes=burst_bytes)
+            series = trace_to_series(switch.stats.queue_trace)
+            q1 = series.get(0, QueueLengthSeries(0))
+            q2 = series.get(1, QueueLengthSeries(1))
+            # Steady-state fair share with two congested queues: alpha*B/(1+2*alpha).
+            fair_queue_len = alpha * switch.buffer_size_bytes / (1 + 2 * alpha)
+            fair_target = min(fair_queue_len, burst_bytes)
+            burst_drops = switch.stats.per_queue_drops.get(1, 0)
+            first_drop_len = switch.stats.first_drop_queue_length.get(1)
+            result.add_row(
+                scheme=scheme,
+                alpha=alpha,
+                burst_bytes=burst_bytes,
+                burst_drops=burst_drops,
+                q2_max_kb=round(q2.max_length / KB, 1),
+                q1_max_kb=round(q1.max_length / KB, 1),
+                q1_expelled=switch.stats.per_queue_expulsions.get(0, 0),
+                first_drop_at_kb=(
+                    round(first_drop_len / KB, 1) if first_drop_len is not None else None
+                ),
+                dropped_before_fair=bool(
+                    first_drop_len is not None and first_drop_len < 0.9 * fair_target
+                ),
+            )
+            result.traces.append(  # type: ignore[attr-defined]
+                EvolutionTrace(scheme=scheme, alpha=alpha, q1=q1, q2=q2)
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

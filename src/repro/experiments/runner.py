@@ -1,0 +1,97 @@
+"""Command-line runner for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments.runner list
+    python -m repro.experiments.runner fig12 --scale small --seed 1
+    python -m repro.experiments.runner all --scale bench
+
+``all`` runs every experiment at the requested scale and prints each table;
+it is the closest thing to "regenerate the paper's evaluation section".
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments.common import ExperimentResult
+
+#: Experiment name -> module path (each module exposes ``run``).
+EXPERIMENTS: Dict[str, str] = {
+    "fig03": "repro.experiments.fig03_dt_behavior",
+    "fig06": "repro.experiments.fig06_anomalous",
+    "fig07": "repro.experiments.fig07_utilization",
+    "table1": "repro.experiments.table1_hw_cost",
+    "fig11": "repro.experiments.fig11_queue_evolution",
+    "fig12": "repro.experiments.fig12_burst_absorption",
+    "fig13": "repro.experiments.fig13_qct_fct",
+    "fig14": "repro.experiments.fig14_isolation",
+    "fig15": "repro.experiments.fig15_buffer_choking",
+    "fig16": "repro.experiments.fig16_alpha",
+    "fig17": "repro.experiments.fig17_websearch",
+    "fig18": "repro.experiments.fig18_all_to_all",
+    "fig19": "repro.experiments.fig19_all_reduce",
+    "fig20": "repro.experiments.fig20_query_load",
+    "fig21": "repro.experiments.fig21_round_robin",
+    "fig22": "repro.experiments.fig22_heavy_load",
+    "fig23": "repro.experiments.fig23_buffer_size",
+}
+
+
+def get_runner(name: str) -> Callable[..., ExperimentResult]:
+    """Import and return the ``run`` function of experiment ``name``."""
+    try:
+        module_path = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    module = importlib.import_module(module_path)
+    return module.run
+
+
+def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by name and return its result."""
+    return get_runner(name)(scale=scale, seed=seed)
+
+
+def run_all(scale: str = "small", seed: int = 0,
+            names: List[str] | None = None) -> List[ExperimentResult]:
+    """Run every (or the selected) experiment and return all results."""
+    results = []
+    for name in names or sorted(EXPERIMENTS):
+        results.append(run_experiment(name, scale=scale, seed=seed))
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiment",
+                        help="experiment name (e.g. fig12, table1), 'all' or 'list'")
+    parser.add_argument("--scale", default="small", choices=["bench", "small", "paper"],
+                        help="scenario scale (default: small)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - start
+        print(result)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Analytical hardware-cost models for Occamy's circuits and their alternatives.
+
+The paper evaluates the hardware cost of the head-drop selector, arbiter and
+executor with Vivado (FPGA LUTs/flip-flops) and Design Compiler on a 45 nm
+library (timing, area, power) -- Table 1.  Neither tool is available here, so
+this package provides first-principles gate-count models calibrated against
+the published numbers, plus a functional + cost model of the binary
+comparator-tree Maximum Finder that makes Pushout expensive (Difficulty 3,
+Figure 4).
+"""
+
+from repro.hw.maxfinder import MaximumFinder, MaxFinderCost
+from repro.hw.arbiter import FixedPriorityArbiter, RoundRobinArbiterCircuit
+from repro.hw.components import (
+    ComponentCost,
+    HeadDropExecutorModel,
+    HeadDropSelectorModel,
+    OccamyHardwareReport,
+    PriorityArbiterModel,
+    occamy_hardware_report,
+)
+
+__all__ = [
+    "ComponentCost",
+    "FixedPriorityArbiter",
+    "HeadDropExecutorModel",
+    "HeadDropSelectorModel",
+    "MaxFinderCost",
+    "MaximumFinder",
+    "OccamyHardwareReport",
+    "PriorityArbiterModel",
+    "RoundRobinArbiterCircuit",
+    "occamy_hardware_report",
+]

@@ -1,0 +1,114 @@
+"""The binary comparator-tree Maximum Finder (Figure 4) and its cost.
+
+Pushout needs to know the longest queue at all times.  The standard circuit is
+a binary tree of compare-and-multiplex nodes: for ``N`` queues of ``k``-bit
+lengths it needs ``N - 1`` nodes arranged in ``ceil(log2 N)`` levels.  Its area
+is ``O(k * N)`` gates and -- critically -- its latency grows as
+``O(log2 k * log2 N)`` gate delays, which cannot keep up with queue lengths
+changing every clock cycle.  Occamy's head-drop selector replaces it with a
+single row of threshold comparators plus a round-robin arbiter, whose latency
+does not depend on tracking a global maximum.
+
+This module provides both a functional model (so tests can check it actually
+finds the maximum) and the cost model used by the Table 1 experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class MaxFinderCost:
+    """Cost summary of an N-input, k-bit maximum finder."""
+
+    num_inputs: int
+    bit_width: int
+    comparator_nodes: int
+    tree_levels: int
+    gate_count: int
+    #: Latency in units of a single 2-input gate delay.
+    gate_delays: int
+
+    def delay_ns(self, gate_delay_ns: float = 0.02) -> float:
+        """Latency in nanoseconds for a given technology gate delay."""
+        return self.gate_delays * gate_delay_ns
+
+
+class MaximumFinder:
+    """Functional + cost model of the binary comparator-tree maximum finder."""
+
+    #: Gates in a k-bit comparator plus k-bit 2:1 multiplexer (per tree node).
+    GATES_PER_BIT = 10
+    #: Gate delays of a k-bit comparator stage (log-depth comparator).
+    def __init__(self, num_inputs: int, bit_width: int = 20) -> None:
+        if num_inputs < 2:
+            raise ValueError("a maximum finder needs at least two inputs")
+        if bit_width <= 0:
+            raise ValueError("bit width must be positive")
+        self.num_inputs = num_inputs
+        self.bit_width = bit_width
+
+    # ------------------------------------------------------------------
+    # Functional behaviour
+    # ------------------------------------------------------------------
+    def find_max(self, values: Sequence[int]) -> Tuple[int, int]:
+        """Return ``(index, value)`` of the maximum via pairwise tournament.
+
+        Ties resolve to the lower index, as a hardware comparator tree with
+        "a > b" muxes would.
+        """
+        if len(values) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} values, got {len(values)}"
+            )
+        limit = (1 << self.bit_width) - 1
+        for value in values:
+            if value < 0 or value > limit:
+                raise ValueError(
+                    f"value {value} does not fit in {self.bit_width} bits"
+                )
+        candidates: List[Tuple[int, int]] = list(enumerate(values))
+        while len(candidates) > 1:
+            next_round: List[Tuple[int, int]] = []
+            for i in range(0, len(candidates) - 1, 2):
+                left, right = candidates[i], candidates[i + 1]
+                next_round.append(right if right[1] > left[1] else left)
+            if len(candidates) % 2 == 1:
+                next_round.append(candidates[-1])
+            candidates = next_round
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    @property
+    def tree_levels(self) -> int:
+        return math.ceil(math.log2(self.num_inputs))
+
+    @property
+    def comparator_nodes(self) -> int:
+        return self.num_inputs - 1
+
+    def cost(self) -> MaxFinderCost:
+        """Area and latency cost of the comparator tree (Section 2.2)."""
+        gates = self.comparator_nodes * self.bit_width * self.GATES_PER_BIT
+        # Each level costs ~log2(k) gate delays for the comparator plus one
+        # for the mux; the total delay is the product of levels and per-level
+        # delay, i.e. O(log2 k * log2 N).
+        per_level = math.ceil(math.log2(self.bit_width)) + 1
+        return MaxFinderCost(
+            num_inputs=self.num_inputs,
+            bit_width=self.bit_width,
+            comparator_nodes=self.comparator_nodes,
+            tree_levels=self.tree_levels,
+            gate_count=gates,
+            gate_delays=self.tree_levels * per_level,
+        )
+
+    def meets_cycle_budget(self, clock_hz: float, gate_delay_ns: float = 0.02) -> bool:
+        """Whether the finder settles within one clock cycle at ``clock_hz``."""
+        cycle_ns = 1e9 / clock_hz
+        return self.cost().delay_ns(gate_delay_ns) <= cycle_ns

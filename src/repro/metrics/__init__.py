@@ -1,0 +1,25 @@
+"""Measurement helpers: flow/query completion times, slowdowns, CDFs, traces."""
+
+from repro.metrics.percentiles import cdf_points, mean, percentile, summarize
+from repro.metrics.flows import (
+    FlowRecord,
+    FlowStats,
+    QueryRecord,
+    ideal_fct,
+    slowdown,
+)
+from repro.metrics.timeseries import QueueLengthSeries, trace_to_series
+
+__all__ = [
+    "FlowRecord",
+    "FlowStats",
+    "QueryRecord",
+    "QueueLengthSeries",
+    "cdf_points",
+    "ideal_fct",
+    "mean",
+    "percentile",
+    "slowdown",
+    "summarize",
+    "trace_to_series",
+]

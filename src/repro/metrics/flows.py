@@ -1,0 +1,189 @@
+"""Flow- and query-level completion-time metrics.
+
+The paper reports:
+
+* **FCT** (flow completion time) for background flows, split into "overall"
+  and "small" (< 100 KB) flows;
+* **QCT** (query completion time) for incast query traffic: the completion
+  time of *all* flows belonging to one query;
+* **slowdown**: actual completion time divided by the ideal completion time
+  of the same transfer on an empty network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.percentiles import mean, percentile
+
+#: Flows smaller than this are "small" in the paper's FCT breakdowns.
+SMALL_FLOW_BYTES = 100 * 1024
+
+
+def ideal_fct(size_bytes: int, bottleneck_bps: float, base_rtt: float,
+              mtu_bytes: int = 1500, header_bytes: int = 40) -> float:
+    """Ideal completion time of a transfer on an otherwise empty path.
+
+    One base RTT of latency (SYN/first-window ramp is ignored, as in the
+    paper's slowdown definition) plus pure serialization of the flow with
+    per-MTU header overhead at the bottleneck rate.
+    """
+    if size_bytes <= 0:
+        raise ValueError("flow size must be positive")
+    if bottleneck_bps <= 0:
+        raise ValueError("bottleneck rate must be positive")
+    packets = -(-size_bytes // mtu_bytes)
+    wire_bytes = size_bytes + packets * header_bytes
+    return base_rtt + wire_bytes * 8 / bottleneck_bps
+
+
+def slowdown(actual: float, ideal: float) -> float:
+    """Completion-time slowdown (>= 1 in a healthy network)."""
+    if ideal <= 0:
+        raise ValueError("ideal completion time must be positive")
+    return actual / ideal
+
+
+@dataclass
+class FlowRecord:
+    """Lifetime record of a single flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: int
+    start_time: float
+    finish_time: Optional[float] = None
+    query_id: Optional[int] = None
+    priority: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def fct(self) -> float:
+        if self.finish_time is None:
+            raise ValueError(f"flow {self.flow_id} has not completed")
+        return self.finish_time - self.start_time
+
+    @property
+    def is_small(self) -> bool:
+        return self.size_bytes < SMALL_FLOW_BYTES
+
+
+@dataclass
+class QueryRecord:
+    """A query (partition-aggregate request) made of several incast flows."""
+
+    query_id: int
+    start_time: float
+    flow_ids: List[int] = field(default_factory=list)
+    finish_time: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def qct(self) -> float:
+        if self.finish_time is None:
+            raise ValueError(f"query {self.query_id} has not completed")
+        return self.finish_time - self.start_time
+
+
+class FlowStats:
+    """Collects flow and query records and produces the paper's statistics."""
+
+    def __init__(self, bottleneck_bps: float, base_rtt: float) -> None:
+        self.bottleneck_bps = bottleneck_bps
+        self.base_rtt = base_rtt
+        self.flows: Dict[int, FlowRecord] = {}
+        self.queries: Dict[int, QueryRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def register_flow(self, record: FlowRecord) -> None:
+        self.flows[record.flow_id] = record
+        if record.query_id is not None:
+            query = self.queries.setdefault(
+                record.query_id, QueryRecord(record.query_id, record.start_time)
+            )
+            query.flow_ids.append(record.flow_id)
+            query.start_time = min(query.start_time, record.start_time)
+
+    def flow_finished(self, flow_id: int, finish_time: float) -> None:
+        record = self.flows[flow_id]
+        record.finish_time = finish_time
+        if record.query_id is not None:
+            query = self.queries[record.query_id]
+            if all(self.flows[fid].completed for fid in query.flow_ids):
+                query.finish_time = max(
+                    self.flows[fid].finish_time for fid in query.flow_ids  # type: ignore[misc]
+                )
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+    def completed_flows(self, query_traffic: Optional[bool] = None,
+                        small_only: bool = False) -> List[FlowRecord]:
+        result = []
+        for record in self.flows.values():
+            if not record.completed:
+                continue
+            if query_traffic is True and record.query_id is None:
+                continue
+            if query_traffic is False and record.query_id is not None:
+                continue
+            if small_only and not record.is_small:
+                continue
+            result.append(record)
+        return result
+
+    def completed_queries(self) -> List[QueryRecord]:
+        return [q for q in self.queries.values() if q.completed]
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def fct_values(self, **kwargs) -> List[float]:
+        return [record.fct for record in self.completed_flows(**kwargs)]
+
+    def fct_slowdowns(self, **kwargs) -> List[float]:
+        values = []
+        for record in self.completed_flows(**kwargs):
+            ideal = ideal_fct(record.size_bytes, self.bottleneck_bps, self.base_rtt)
+            values.append(slowdown(record.fct, ideal))
+        return values
+
+    def qct_values(self) -> List[float]:
+        return [query.qct for query in self.completed_queries()]
+
+    def qct_slowdowns(self) -> List[float]:
+        values = []
+        for query in self.completed_queries():
+            total_bytes = sum(self.flows[fid].size_bytes for fid in query.flow_ids)
+            ideal = ideal_fct(total_bytes, self.bottleneck_bps, self.base_rtt)
+            values.append(slowdown(query.qct, ideal))
+        return values
+
+    def average_qct(self) -> float:
+        return mean(self.qct_values())
+
+    def p99_qct(self) -> float:
+        return percentile(self.qct_values(), 99)
+
+    def average_fct(self, **kwargs) -> float:
+        return mean(self.fct_values(**kwargs))
+
+    def p99_fct(self, **kwargs) -> float:
+        return percentile(self.fct_values(**kwargs), 99)
+
+    def completion_fraction(self) -> float:
+        """Fraction of registered flows that completed (sanity diagnostics)."""
+        if not self.flows:
+            return 1.0
+        done = sum(1 for f in self.flows.values() if f.completed)
+        return done / len(self.flows)

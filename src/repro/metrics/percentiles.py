@@ -1,0 +1,64 @@
+"""Percentile, mean and CDF helpers used throughout the experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; returns 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) using linear interpolation.
+
+    Returns 0.0 for an empty sequence; raises ``ValueError`` for a ``p``
+    outside [0, 100].
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return data[low] * (1 - frac) + data[high] * frac
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean / p50 / p95 / p99 / max summary of a sample."""
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values) if values else 0.0,
+    }
+
+
+def cdf_points(values: Iterable[float], num_points: int = 100) -> List[Tuple[float, float]]:
+    """Return ``(value, cumulative_probability)`` pairs for plotting a CDF."""
+    data = sorted(values)
+    if not data:
+        return []
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    points: List[Tuple[float, float]] = []
+    n = len(data)
+    step = max(1, n // num_points)
+    for i in range(0, n, step):
+        points.append((data[i], (i + 1) / n))
+    if points[-1][0] != data[-1]:
+        points.append((data[-1], 1.0))
+    else:
+        points[-1] = (data[-1], 1.0)
+    return points

@@ -1,0 +1,39 @@
+"""Packet-level network simulator built around the shared-memory switch model.
+
+Hosts run window-based transports (DCTCP, Reno, CUBIC); switches are
+:class:`repro.switchsim.SharedMemorySwitch` instances wrapped in
+:class:`SwitchNode` objects that add routing; links add propagation delay.
+The :class:`Network` class wires everything together, injects
+:class:`repro.workloads.FlowSpec` workloads and collects flow/query
+completion times.
+"""
+
+from repro.netsim.link import Link
+from repro.netsim.host import Host
+from repro.netsim.routing import EcmpRoutingTable
+from repro.netsim.switch_node import SwitchNode
+from repro.netsim.network import Network
+from repro.netsim.transport import (
+    CubicTransport,
+    DctcpTransport,
+    ReceiverState,
+    RenoTransport,
+    SenderTransport,
+    TransportConfig,
+    make_transport,
+)
+
+__all__ = [
+    "CubicTransport",
+    "DctcpTransport",
+    "EcmpRoutingTable",
+    "Host",
+    "Link",
+    "Network",
+    "ReceiverState",
+    "RenoTransport",
+    "SenderTransport",
+    "SwitchNode",
+    "TransportConfig",
+    "make_transport",
+]

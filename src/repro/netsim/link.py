@@ -1,0 +1,46 @@
+"""Unidirectional links with propagation delay.
+
+Serialization delay is modelled by the *sender* (a host NIC or a switch egress
+port), so a link only adds propagation delay and hands the packet to the
+receiving node's ``deliver`` method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.sim.engine import Simulator
+from repro.switchsim.packet import Packet
+
+
+class Deliverable(Protocol):
+    """Anything that can receive packets from a link (hosts, switch nodes)."""
+
+    def deliver(self, packet: Packet) -> None: ...
+
+
+class Link:
+    """A unidirectional link towards ``dst_node`` with fixed propagation delay."""
+
+    def __init__(self, sim: Simulator, dst_node: Deliverable, delay: float,
+                 name: str = "") -> None:
+        if delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.dst_node = dst_node
+        self.delay = delay
+        self.name = name
+        self.packets_carried = 0
+        self.bytes_carried = 0
+
+    def transmit(self, packet: Packet) -> None:
+        """Start propagating ``packet``; it arrives ``delay`` seconds later."""
+        self.packets_carried += 1
+        self.bytes_carried += packet.size_bytes
+        if self.delay == 0:
+            self.dst_node.deliver(packet)
+        else:
+            self.sim.schedule(self.delay, lambda p=packet: self.dst_node.deliver(p))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Link {self.name or id(self)} delay={self.delay * 1e6:.1f}us>"

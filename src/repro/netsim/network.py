@@ -1,0 +1,147 @@
+"""The network: hosts, switch nodes, links, workload injection and metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.metrics.flows import FlowRecord, FlowStats
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.switch_node import SwitchNode
+from repro.netsim.transport.base import ReceiverState, TransportConfig
+from repro.netsim.transport.factory import make_transport
+from repro.sim.engine import Simulator
+from repro.workloads.spec import FlowSpec
+
+
+class Network:
+    """A complete simulated network.
+
+    Typical usage (usually via the :mod:`repro.topology` builders)::
+
+        sim = Simulator()
+        net = Network(sim, bottleneck_bps=10e9, base_rtt=40e-6)
+        h0 = net.add_host(0, nic_rate_bps=10e9)
+        ...
+        net.inject_flows(flows, transport="dctcp")
+        net.run(until=0.1)
+        print(net.flow_stats.average_qct())
+    """
+
+    def __init__(self, sim: Simulator, bottleneck_bps: float, base_rtt: float) -> None:
+        self.sim = sim
+        self.hosts: Dict[int, Host] = {}
+        self.switch_nodes: Dict[str, SwitchNode] = {}
+        self.flow_stats = FlowStats(bottleneck_bps=bottleneck_bps, base_rtt=base_rtt)
+        self._transport_config = TransportConfig()
+        #: Flow specs injected so far, for introspection and experiments.
+        self.injected_flows: List[FlowSpec] = []
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_host(self, host_id: int, nic_rate_bps: float) -> Host:
+        if host_id in self.hosts:
+            raise ValueError(f"host {host_id} already exists")
+        host = Host(host_id, self.sim, nic_rate_bps)
+        self.hosts[host_id] = host
+        return host
+
+    def add_switch(self, node: SwitchNode) -> SwitchNode:
+        if node.name in self.switch_nodes:
+            raise ValueError(f"switch {node.name} already exists")
+        self.switch_nodes[node.name] = node
+        return node
+
+    def connect_host_to_switch(self, host: Host, switch: SwitchNode, port_id: int,
+                               delay: float) -> None:
+        """Create the host<->switch link pair and register the direct route."""
+        up = Link(self.sim, switch, delay, name=f"h{host.host_id}->{switch.name}")
+        down = Link(self.sim, host, delay, name=f"{switch.name}->h{host.host_id}")
+        host.attach_link(up)
+        switch.connect(port_id, down)
+        switch.routing.add_host_route(host.host_id, port_id)
+
+    def connect_switches(self, a: SwitchNode, port_a: int, b: SwitchNode, port_b: int,
+                         delay: float) -> None:
+        """Create a bidirectional switch-to-switch link pair."""
+        a_to_b = Link(self.sim, b, delay, name=f"{a.name}->{b.name}")
+        b_to_a = Link(self.sim, a, delay, name=f"{b.name}->{a.name}")
+        a.connect(port_a, a_to_b)
+        b.connect(port_b, b_to_a)
+
+    # ------------------------------------------------------------------
+    # Workload injection
+    # ------------------------------------------------------------------
+    def set_transport_config(self, config: TransportConfig) -> None:
+        self._transport_config = config
+
+    @property
+    def transport_config(self) -> TransportConfig:
+        return self._transport_config
+
+    def inject_flows(self, flows: Iterable[FlowSpec], transport: str = "dctcp",
+                     transport_config: Optional[TransportConfig] = None) -> None:
+        """Register flows: each starts (sender + receiver) at its start time."""
+        config = transport_config or self._transport_config
+        sender_cls = make_transport(transport)
+        for spec in flows:
+            if spec.src not in self.hosts or spec.dst not in self.hosts:
+                raise ValueError(
+                    f"flow {spec.flow_id} references unknown hosts "
+                    f"{spec.src}->{spec.dst}"
+                )
+            self.injected_flows.append(spec)
+            self.flow_stats.register_flow(
+                FlowRecord(
+                    flow_id=spec.flow_id,
+                    src=spec.src,
+                    dst=spec.dst,
+                    size_bytes=spec.size_bytes,
+                    start_time=spec.start_time,
+                    query_id=spec.query_id,
+                    priority=spec.priority,
+                )
+            )
+            self.sim.at(
+                spec.start_time,
+                lambda s=spec, cls=sender_cls, cfg=config: self._start_flow(s, cls, cfg),
+            )
+
+    def _start_flow(self, spec: FlowSpec, sender_cls, config: TransportConfig) -> None:
+        src_host = self.hosts[spec.src]
+        dst_host = self.hosts[spec.dst]
+        receiver = ReceiverState(spec, config, on_complete=self._flow_completed)
+        dst_host.add_receiver(receiver)
+        sender = sender_cls(src_host, spec, config)
+        src_host.add_sender(sender)
+        sender.start()
+
+    def _flow_completed(self, flow_id: int, now: float) -> None:
+        self.flow_stats.flow_finished(flow_id, now)
+
+    # ------------------------------------------------------------------
+    # Execution and reporting
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation until ``until`` (or until the event queue drains)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def total_switch_drops(self) -> int:
+        return sum(node.stats.total_lost_packets for node in self.switch_nodes.values())
+
+    def total_timeouts(self) -> int:
+        count = 0
+        for host in self.hosts.values():
+            for sender in host.senders.values():
+                count += sender.timeouts
+        return count
+
+    def switch(self, name: str) -> SwitchNode:
+        return self.switch_nodes[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<Network hosts={len(self.hosts)} switches={len(self.switch_nodes)} "
+            f"flows={len(self.injected_flows)}>"
+        )

@@ -1,0 +1,60 @@
+"""Routing tables for switch nodes, including ECMP over uplinks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.switchsim.packet import Packet
+
+
+def _mix(a: int, b: int, c: int) -> int:
+    """A small deterministic integer hash (stable across runs/processes)."""
+    h = (a * 0x9E3779B1) ^ (b * 0x85EBCA77) ^ (c * 0xC2B2AE3D)
+    h ^= h >> 13
+    h *= 0x27D4EB2F
+    h &= 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+class EcmpRoutingTable:
+    """Destination-host routing with ECMP spreading over uplink ports.
+
+    Routes are looked up in two steps: an exact per-destination-host entry
+    (downlinks / locally attached hosts), falling back to an ECMP hash over
+    the registered uplink ports.  The hash covers (src, dst, flow id) so all
+    packets of one flow take the same path -- no reordering due to routing.
+    """
+
+    def __init__(self) -> None:
+        self._host_routes: Dict[int, int] = {}
+        self._uplinks: List[int] = []
+
+    def add_host_route(self, dst_host: int, port_id: int) -> None:
+        """Send traffic for ``dst_host`` out of ``port_id``."""
+        self._host_routes[dst_host] = port_id
+
+    def add_uplink(self, port_id: int) -> None:
+        """Register an uplink port participating in ECMP."""
+        if port_id not in self._uplinks:
+            self._uplinks.append(port_id)
+
+    def add_uplinks(self, port_ids) -> None:
+        for port_id in port_ids:
+            self.add_uplink(port_id)
+
+    @property
+    def uplinks(self) -> List[int]:
+        return list(self._uplinks)
+
+    def route(self, packet: Packet) -> int:
+        """Return the egress port for ``packet``."""
+        port = self._host_routes.get(packet.dst)
+        if port is not None:
+            return port
+        if not self._uplinks:
+            raise LookupError(
+                f"no route for destination host {packet.dst} and no uplinks configured"
+            )
+        index = _mix(packet.src, packet.dst, packet.flow_id) % len(self._uplinks)
+        return self._uplinks[index]

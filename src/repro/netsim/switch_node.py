@@ -1,0 +1,69 @@
+"""A network switch node: shared-memory traffic manager plus routing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.base import BufferManager
+from repro.netsim.link import Link
+from repro.netsim.routing import EcmpRoutingTable
+from repro.sim.engine import Simulator
+from repro.switchsim.packet import Packet
+from repro.switchsim.switch import SharedMemorySwitch, SwitchConfig
+
+
+class SwitchNode:
+    """Wraps a :class:`SharedMemorySwitch` with port-to-link wiring and routing."""
+
+    def __init__(self, name: str, sim: Simulator, config: SwitchConfig,
+                 manager: BufferManager) -> None:
+        self.name = name
+        self.sim = sim
+        self.switch = SharedMemorySwitch(
+            config, manager, sim, on_transmit=self._on_transmit
+        )
+        self.routing = EcmpRoutingTable()
+        self._links: Dict[int, Link] = {}
+        #: Packets that arrived for a port with no attached link (misconfig).
+        self.undeliverable = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, port_id: int, link: Link) -> None:
+        """Attach the outgoing ``link`` to egress ``port_id``."""
+        if not 0 <= port_id < self.switch.port_count:
+            raise ValueError(f"switch {self.name} has no port {port_id}")
+        self._links[port_id] = link
+
+    def link_for(self, port_id: int) -> Optional[Link]:
+        return self._links.get(port_id)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        """Handle a packet arriving on an ingress link: route and admit it."""
+        out_port = self.routing.route(packet)
+        self.switch.receive(packet, out_port)
+
+    def _on_transmit(self, packet: Packet, port_id: int) -> None:
+        link = self._links.get(port_id)
+        if link is None:
+            self.undeliverable += 1
+            return
+        link.transmit(packet)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.switch.stats
+
+    @property
+    def manager(self) -> BufferManager:
+        return self.switch.manager
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<SwitchNode {self.name} ports={self.switch.port_count}>"

@@ -1,0 +1,17 @@
+"""End-host transport protocols for the packet-level network simulator."""
+
+from repro.netsim.transport.base import ReceiverState, SenderTransport, TransportConfig
+from repro.netsim.transport.reno import RenoTransport
+from repro.netsim.transport.dctcp import DctcpTransport
+from repro.netsim.transport.cubic import CubicTransport
+from repro.netsim.transport.factory import make_transport
+
+__all__ = [
+    "CubicTransport",
+    "DctcpTransport",
+    "ReceiverState",
+    "RenoTransport",
+    "SenderTransport",
+    "TransportConfig",
+    "make_transport",
+]

@@ -1,0 +1,61 @@
+"""A simplified TCP CUBIC sender.
+
+CUBIC grows the window as a cubic function of the time since the last loss,
+with the plateau anchored at the window size just before that loss.  The
+paper uses CUBIC for the background flows of the performance-isolation
+experiments (Section 6.2), where the relevant property is simply that the
+background traffic is loss-driven and keeps queues full -- which this
+simplified model captures.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.transport.base import SenderTransport
+
+#: CUBIC scaling constant (RFC 8312).
+CUBIC_C = 0.4
+#: Multiplicative decrease factor.
+CUBIC_BETA = 0.7
+
+
+class CubicTransport(SenderTransport):
+    """CUBIC window growth with beta=0.7 multiplicative decrease."""
+
+    name = "cubic"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._w_max = self.cwnd
+        self._epoch_start: float | None = None
+        self._k = 0.0
+
+    def _begin_epoch(self) -> None:
+        self._epoch_start = self.sim.now
+        self._k = ((self._w_max * (1 - CUBIC_BETA)) / CUBIC_C) ** (1.0 / 3.0)
+
+    def on_new_ack_cc(self, newly_acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += float(newly_acked)
+            return
+        if self._epoch_start is None:
+            self._begin_epoch()
+        t = self.sim.now - self._epoch_start
+        target = CUBIC_C * (t - self._k) ** 3 + self._w_max
+        if target > self.cwnd:
+            # Approach the cubic target over roughly one RTT worth of ACKs.
+            self.cwnd += min(float(newly_acked), (target - self.cwnd) / max(1.0, self.cwnd))
+        else:
+            # TCP-friendly region: grow at least like Reno.
+            self.cwnd += 0.01 * newly_acked / max(1.0, self.cwnd)
+
+    def on_fast_retransmit(self) -> None:
+        self._w_max = self.cwnd
+        self.cwnd = max(2.0, self.cwnd * CUBIC_BETA)
+        self.ssthresh = self.cwnd
+        self._epoch_start = None
+
+    def on_timeout_cc(self) -> None:
+        self._w_max = self.cwnd
+        self.ssthresh = max(2.0, self.cwnd * CUBIC_BETA)
+        self.cwnd = 1.0
+        self._epoch_start = None

@@ -1,0 +1,57 @@
+"""DCTCP: ECN-proportional window reduction (Alizadeh et al., SIGCOMM 2010).
+
+DCTCP keeps a running estimate ``alpha`` of the fraction of ECN-marked
+acknowledged bytes and, once per window, reduces the congestion window by
+``alpha / 2`` when any marks were observed.  This yields small, persistent
+queues -- the congestion-control algorithm used by all of the paper's
+experiments except the CUBIC background flows of the isolation tests.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.transport.base import SenderTransport
+
+
+class DctcpTransport(SenderTransport):
+    """DCTCP sender: ECN-fraction-proportional multiplicative decrease."""
+
+    name = "dctcp"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Running estimate of the marked fraction.
+        self.alpha = 1.0
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_end = self.snd_una + max(1, int(self.cwnd))
+        self._cut_this_window = False
+
+    def on_ecn_feedback(self, newly_acked: int, ecn_echo: bool) -> None:
+        if newly_acked <= 0:
+            return
+        self._acked_in_window += newly_acked
+        if ecn_echo:
+            self._marked_in_window += newly_acked
+            # React immediately (once per window) like real DCTCP: cut by
+            # alpha/2 as soon as congestion is signalled, then refine alpha at
+            # the window boundary.
+            if not self._cut_this_window:
+                self._cut_this_window = True
+                self.cwnd = max(2.0, self.cwnd * (1.0 - self.alpha / 2.0))
+                self.ssthresh = self.cwnd
+        if self.snd_una >= self._window_end:
+            fraction = (
+                self._marked_in_window / self._acked_in_window
+                if self._acked_in_window else 0.0
+            )
+            g = self.config.dctcp_g
+            self.alpha = (1.0 - g) * self.alpha + g * fraction
+            self._acked_in_window = 0
+            self._marked_in_window = 0
+            self._cut_this_window = False
+            self._window_end = self.snd_una + max(1, int(self.cwnd))
+
+    def on_timeout_cc(self) -> None:
+        super().on_timeout_cc()
+        # A timeout is unequivocal congestion: saturate the estimate.
+        self.alpha = 1.0

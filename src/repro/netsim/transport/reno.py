@@ -1,0 +1,16 @@
+"""TCP Reno (NewReno-flavoured) congestion control."""
+
+from __future__ import annotations
+
+from repro.netsim.transport.base import SenderTransport
+
+
+class RenoTransport(SenderTransport):
+    """Classic AIMD: slow start, congestion avoidance, halve on loss.
+
+    The behaviour is entirely provided by the base class defaults; the class
+    exists so experiments can request ``"reno"`` explicitly and so the CC
+    hooks have an unambiguous home.
+    """
+
+    name = "reno"

@@ -1,0 +1,110 @@
+"""The discrete-event simulator driving both the switch and network models."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    The simulator owns a virtual clock (``now``, in seconds) and an event
+    queue.  Components schedule callbacks either at an absolute time
+    (:meth:`at`) or after a delay (:meth:`schedule`), then :meth:`run` drains
+    the queue until a time horizon or until no events remain.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [1.5]
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback)
+
+    def at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (time={time}, now={self.now})"
+            )
+        return self._queue.push(time, callback)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (no-op for ``None``)."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Args:
+            until: stop once the clock would pass this time (the clock is
+                advanced to ``until`` if events remain beyond it).
+            max_events: optional safety cap on the number of executed events.
+
+        Returns:
+            The number of events executed.
+        """
+        executed = 0
+        self._stopped = False
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                if self._stopped:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.callback()
+                executed += 1
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including lazily cancelled ones)."""
+        return len(self._queue)
+
+    def reset(self) -> None:
+        """Clear the event queue and rewind the clock to zero."""
+        self._queue.clear()
+        self.now = 0.0
+        self._stopped = False

@@ -1,0 +1,75 @@
+"""Event queue primitives for the discrete-event kernel.
+
+The kernel is deliberately small: events are ``(time, sequence, callback)``
+tuples kept in a binary heap.  The sequence number breaks ties so that events
+scheduled at the same timestamp execute in FIFO order, which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Attributes:
+        time: absolute simulation time (seconds) at which the event fires.
+        seq: monotonically increasing tie-breaker.
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: events are cancelled lazily; the queue skips them on pop.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap event queue with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its Event."""
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the earliest pending event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

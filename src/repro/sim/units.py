@@ -1,0 +1,48 @@
+"""Unit helpers shared across the simulators.
+
+All simulator time is expressed in **seconds** (floats) and all data sizes in
+**bytes** (ints).  Link and memory rates are expressed in **bits per second**.
+The constants below make experiment configuration read like the paper
+("100 * GBPS", "4 * MB", "80 * US").
+"""
+
+from __future__ import annotations
+
+#: One kilobyte / megabyte (binary, as used for buffer sizes in the paper).
+KB = 1024
+MB = 1024 * 1024
+
+#: Rates in bits per second.
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+#: Time units in seconds.
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return num_bits / 8
+
+
+def rate_to_bytes_per_sec(rate_bps: float) -> float:
+    """Convert a rate in bits/second to bytes/second."""
+    return rate_bps / 8
+
+
+def transmission_time(num_bytes: float, rate_bps: float) -> float:
+    """Return the serialization delay of ``num_bytes`` on a ``rate_bps`` link.
+
+    Raises:
+        ValueError: if the rate is not positive.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return bytes_to_bits(num_bytes) / rate_bps

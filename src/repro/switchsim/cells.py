@@ -1,0 +1,153 @@
+"""The packet-buffer memory model: cells, cell pointers and packet descriptors.
+
+Figure 2 of the paper describes three physically separate memories:
+
+* **cell data memory** -- the actual payload storage, divided into equal-size
+  cells;
+* **cell pointer memory** -- linked lists chaining a packet's cells together,
+  plus the free-cell pointer list;
+* **packet descriptor (PD) memory** -- one descriptor per packet holding its
+  metadata and the head(s) of its cell-pointer list(s); a queue is a linked
+  list of PDs.
+
+This module models that structure functionally: a :class:`CellPool` hands out
+cell pointers from a free list and takes them back on packet departure or
+head drop.  The key property exploited by Occamy is that *dropping* a packet
+only touches PD memory and cell-pointer memory -- the cell data memory is never
+read -- which is asserted by the accounting in this class and verified in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.switchsim.packet import Packet
+
+_pd_ids = itertools.count()
+
+
+@dataclass
+class PacketDescriptor:
+    """A packet descriptor: packet metadata plus its allocated cell pointers."""
+
+    packet: Packet
+    cell_pointers: List[int]
+    enqueue_time: float = 0.0
+    pd_id: int = field(default_factory=lambda: next(_pd_ids))
+
+    @property
+    def size_bytes(self) -> int:
+        return self.packet.size_bytes
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_pointers)
+
+
+class CellPool:
+    """The shared cell data memory and its free cell pointer list.
+
+    Args:
+        buffer_bytes: total shared buffer capacity.
+        cell_bytes: cell size; a packet occupies ``ceil(size / cell_bytes)``
+            cells, so small packets waste part of their last cell exactly as
+            in real chips.
+    """
+
+    def __init__(self, buffer_bytes: int, cell_bytes: int = 200) -> None:
+        if buffer_bytes <= 0:
+            raise ValueError("buffer size must be positive")
+        if cell_bytes <= 0:
+            raise ValueError("cell size must be positive")
+        self.buffer_bytes = buffer_bytes
+        self.cell_bytes = cell_bytes
+        self.total_cells = buffer_bytes // cell_bytes
+        if self.total_cells == 0:
+            raise ValueError(
+                f"buffer of {buffer_bytes}B cannot hold a single {cell_bytes}B cell"
+            )
+        #: Free cell pointer list (Figure 2); popping allocates, appending frees.
+        self._free_list: Deque[int] = deque(range(self.total_cells))
+        #: Counters distinguishing data-memory accesses from pointer-only ops,
+        #: used to verify that head drops never touch cell data memory.
+        self.data_memory_reads = 0
+        self.data_memory_writes = 0
+        self.pointer_memory_ops = 0
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def free_cells(self) -> int:
+        return len(self._free_list)
+
+    @property
+    def used_cells(self) -> int:
+        return self.total_cells - self.free_cells
+
+    @property
+    def used_bytes(self) -> int:
+        """Buffer occupancy in bytes, counted at cell granularity."""
+        return self.used_cells * self.cell_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_cells * self.cell_bytes
+
+    def cells_for(self, size_bytes: int) -> int:
+        """Number of cells required to store a ``size_bytes`` packet."""
+        if size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        return -(-size_bytes // self.cell_bytes)  # ceil division
+
+    def can_fit(self, size_bytes: int) -> bool:
+        """Whether a packet of ``size_bytes`` fits in the free cells."""
+        return self.cells_for(size_bytes) <= self.free_cells
+
+    # ------------------------------------------------------------------
+    # Allocation / release
+    # ------------------------------------------------------------------
+    def allocate(self, packet: Packet, now: float = 0.0) -> Optional[PacketDescriptor]:
+        """Allocate cells for ``packet`` and write its data into the buffer.
+
+        Returns the packet descriptor, or ``None`` when there is not enough
+        free space (callers should have checked admission first; the ``None``
+        path exists for defensive robustness).
+        """
+        needed = self.cells_for(packet.size_bytes)
+        if needed > self.free_cells:
+            return None
+        pointers = [self._free_list.popleft() for _ in range(needed)]
+        self.pointer_memory_ops += needed
+        self.data_memory_writes += needed
+        return PacketDescriptor(packet=packet, cell_pointers=pointers, enqueue_time=now)
+
+    def release(self, descriptor: PacketDescriptor, read_data: bool) -> int:
+        """Return a descriptor's cells to the free list.
+
+        Args:
+            read_data: True for a normal dequeue (the cell data is read out to
+                the egress pipeline), False for a head drop (Occamy's key
+                saving: only pointer operations are needed).
+
+        Returns:
+            The number of bytes freed (cell-granular).
+        """
+        freed_cells = len(descriptor.cell_pointers)
+        self._free_list.extend(descriptor.cell_pointers)
+        self.pointer_memory_ops += freed_cells
+        if read_data:
+            self.data_memory_reads += freed_cells
+        descriptor.cell_pointers = []
+        return freed_cells * self.cell_bytes
+
+    def reset(self) -> None:
+        """Return the pool to its pristine state (all cells free)."""
+        self._free_list = deque(range(self.total_cells))
+        self.data_memory_reads = 0
+        self.data_memory_writes = 0
+        self.pointer_memory_ops = 0

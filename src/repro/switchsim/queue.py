@@ -1,0 +1,155 @@
+"""Per-port, per-class queues of packet descriptors."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.switchsim.cells import PacketDescriptor
+
+
+class SwitchQueue:
+    """A queue of packet descriptors, matching the PD linked list of Figure 2.
+
+    The queue also satisfies the :class:`repro.core.base.QueueView` protocol so
+    buffer-management schemes can observe it directly.
+
+    Attributes:
+        queue_id: globally unique queue index within the switch.
+        port_id: the egress port this queue belongs to.
+        class_index: index of the queue within its port (traffic class).
+        priority: scheduling priority; lower value = higher priority.
+        weight: scheduling weight for WRR/DRR.
+        alpha_override: optional per-queue DT/ABM alpha (commodity chips allow
+            per-queue alpha configuration, used heavily in the paper's
+            priority experiments).
+        ecn_threshold_bytes: optional per-queue ECN marking threshold.
+    """
+
+    def __init__(
+        self,
+        queue_id: int,
+        port_id: int,
+        class_index: int = 0,
+        priority: int = 0,
+        weight: float = 1.0,
+        alpha_override: Optional[float] = None,
+        ecn_threshold_bytes: Optional[int] = None,
+    ) -> None:
+        self.queue_id = queue_id
+        self.port_id = port_id
+        self.class_index = class_index
+        self.priority = priority
+        self.weight = weight
+        self.alpha_override = alpha_override
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+
+        self._descriptors: Deque[PacketDescriptor] = deque()
+        self._length_bytes = 0
+        #: Deficit counter used by the DRR scheduler.
+        self.deficit_bytes = 0.0
+        #: Exponentially weighted drain-rate estimate in bytes/second.
+        self._drain_rate = 0.0
+        self._last_dequeue_time: Optional[float] = None
+
+        # Cumulative statistics.
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dequeued_packets = 0
+        self.dequeued_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.expelled_packets = 0
+        self.expelled_bytes = 0
+
+    # ------------------------------------------------------------------
+    # QueueView protocol
+    # ------------------------------------------------------------------
+    @property
+    def length_bytes(self) -> int:
+        return self._length_bytes
+
+    @property
+    def length_packets(self) -> int:
+        return len(self._descriptors)
+
+    @property
+    def drain_rate_estimate(self) -> float:
+        return self._drain_rate
+
+    @property
+    def is_active(self) -> bool:
+        """A queue is active when it holds at least one packet."""
+        return bool(self._descriptors)
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, descriptor: PacketDescriptor) -> None:
+        """Append a descriptor at the tail (normal enqueue)."""
+        self._descriptors.append(descriptor)
+        self._length_bytes += descriptor.size_bytes
+        self.enqueued_packets += 1
+        self.enqueued_bytes += descriptor.size_bytes
+
+    def peek_head(self) -> Optional[PacketDescriptor]:
+        """The descriptor at the head of the queue, without removing it."""
+        return self._descriptors[0] if self._descriptors else None
+
+    def peek_tail(self) -> Optional[PacketDescriptor]:
+        return self._descriptors[-1] if self._descriptors else None
+
+    def pop_head(self) -> Optional[PacketDescriptor]:
+        """Remove and return the head descriptor (dequeue or head drop)."""
+        if not self._descriptors:
+            return None
+        descriptor = self._descriptors.popleft()
+        self._length_bytes -= descriptor.size_bytes
+        return descriptor
+
+    def pop_tail(self) -> Optional[PacketDescriptor]:
+        """Remove and return the tail descriptor (classic pushout eviction)."""
+        if not self._descriptors:
+            return None
+        descriptor = self._descriptors.pop()
+        self._length_bytes -= descriptor.size_bytes
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # Statistics hooks
+    # ------------------------------------------------------------------
+    def record_dequeue(self, size_bytes: int, now: float) -> None:
+        """Update counters and the drain-rate estimate after a transmission."""
+        self.dequeued_packets += 1
+        self.dequeued_bytes += size_bytes
+        if self._last_dequeue_time is not None:
+            delta = now - self._last_dequeue_time
+            if delta > 0:
+                instantaneous = size_bytes / delta
+                # EWMA with a modest gain: responsive but not jittery.
+                self._drain_rate = 0.8 * self._drain_rate + 0.2 * instantaneous
+        self._last_dequeue_time = now
+
+    def record_drop(self, size_bytes: int, expelled: bool = False) -> None:
+        """Update drop counters (``expelled`` = proactive head drop)."""
+        if expelled:
+            self.expelled_packets += 1
+            self.expelled_bytes += size_bytes
+        else:
+            self.dropped_packets += 1
+            self.dropped_bytes += size_bytes
+
+    def clear(self) -> None:
+        """Empty the queue (used by tests and switch reset)."""
+        self._descriptors.clear()
+        self._length_bytes = 0
+        self.deficit_bytes = 0.0
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<SwitchQueue {self.queue_id} port={self.port_id} "
+            f"class={self.class_index} len={self._length_bytes}B>"
+        )

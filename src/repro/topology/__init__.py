@@ -1,0 +1,11 @@
+"""Topology builders: single-switch star, dumbbell and leaf-spine fabrics."""
+
+from repro.topology.single_switch import SingleSwitchTopology
+from repro.topology.leaf_spine import LeafSpineTopology
+from repro.topology.dumbbell import DumbbellTopology
+
+__all__ = [
+    "DumbbellTopology",
+    "LeafSpineTopology",
+    "SingleSwitchTopology",
+]

@@ -1,0 +1,88 @@
+"""A dumbbell topology: two switches joined by one bottleneck link.
+
+Useful for controlled congestion-control and buffer-sharing experiments where
+exactly one link is the bottleneck (e.g. validating DCTCP behaviour or the
+burst-absorption micro-benchmarks at network level).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.base import BufferManager
+from repro.netsim.network import Network
+from repro.netsim.switch_node import SwitchNode
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, KB
+from repro.switchsim.switch import SwitchConfig
+
+
+class DumbbellTopology:
+    """``num_pairs`` senders on the left switch, receivers on the right switch.
+
+    Host ids: senders are ``0..num_pairs-1`` (attached to the left switch),
+    receivers are ``num_pairs..2*num_pairs-1`` (attached to the right switch).
+    The right-hand switch's port 0 carries the bottleneck link.
+    """
+
+    def __init__(
+        self,
+        num_pairs: int,
+        manager_factory: Callable[[], BufferManager],
+        edge_rate_bps: float = 10 * GBPS,
+        bottleneck_rate_bps: Optional[float] = None,
+        buffer_bytes: Optional[int] = None,
+        queues_per_port: int = 1,
+        scheduler: str = "fifo",
+        ecn_threshold_bytes: Optional[int] = None,
+        link_delay: float = 5e-6,
+        trace_queues: bool = False,
+        simulator: Optional[Simulator] = None,
+    ) -> None:
+        if num_pairs < 1:
+            raise ValueError("need at least one sender/receiver pair")
+        self.sim = simulator or Simulator()
+        bottleneck_rate_bps = bottleneck_rate_bps or edge_rate_bps
+        if buffer_bytes is None:
+            buffer_bytes = int(5.12 * KB * (num_pairs + 1) * edge_rate_bps / 1e9)
+
+        self.base_rtt = 6 * link_delay
+        self.network = Network(self.sim, bottleneck_bps=bottleneck_rate_bps,
+                               base_rtt=self.base_rtt)
+
+        def switch_config(name: str, ports: int) -> SwitchConfig:
+            return SwitchConfig(
+                num_ports=ports,
+                queues_per_port=queues_per_port,
+                port_rate_bps=edge_rate_bps,
+                buffer_bytes=buffer_bytes,
+                scheduler=scheduler,
+                ecn_threshold_bytes=ecn_threshold_bytes,
+                trace_queues=trace_queues,
+                name=name,
+            )
+
+        # Port layout: port 0 of each switch is the inter-switch trunk; hosts
+        # occupy ports 1..num_pairs.
+        self.left = SwitchNode("left", self.sim, switch_config("left", num_pairs + 1),
+                               manager_factory())
+        self.right = SwitchNode("right", self.sim, switch_config("right", num_pairs + 1),
+                                manager_factory())
+        self.network.add_switch(self.left)
+        self.network.add_switch(self.right)
+        self.network.connect_switches(self.left, 0, self.right, 0, link_delay)
+
+        self.senders: List[int] = []
+        self.receivers: List[int] = []
+        for i in range(num_pairs):
+            sender_id = i
+            receiver_id = num_pairs + i
+            sender = self.network.add_host(sender_id, edge_rate_bps)
+            receiver = self.network.add_host(receiver_id, edge_rate_bps)
+            self.network.connect_host_to_switch(sender, self.left, i + 1, link_delay)
+            self.network.connect_host_to_switch(receiver, self.right, i + 1, link_delay)
+            self.senders.append(sender_id)
+            self.receivers.append(receiver_id)
+            # Cross-switch routes go over the trunk (port 0).
+            self.left.routing.add_host_route(receiver_id, 0)
+            self.right.routing.add_host_route(sender_id, 0)

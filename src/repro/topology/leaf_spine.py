@@ -1,0 +1,147 @@
+"""A leaf-spine (Clos) fabric, the topology of the paper's ns-3 simulations.
+
+The paper simulates 8 leaves x 8 spines with 16 hosts per leaf on 100 Gbps
+links and a base RTT of 80 us; every group of 8 ports shares 4 MB of buffer.
+The builder defaults to a scaled-down fabric so pure-Python runs stay fast,
+but all dimensions are parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.base import BufferManager
+from repro.netsim.network import Network
+from repro.netsim.switch_node import SwitchNode
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, KB, MB
+from repro.switchsim.switch import SwitchConfig
+
+
+class LeafSpineTopology:
+    """Builds a leaf-spine fabric with ECMP across the spines.
+
+    Host numbering: leaf ``L`` hosts are ``L * hosts_per_leaf ... (L+1) *
+    hosts_per_leaf - 1``.  Leaf switch ports ``0..hosts_per_leaf-1`` face the
+    hosts, ports ``hosts_per_leaf..hosts_per_leaf+num_spines-1`` face the
+    spines.  Spine switch port ``L`` faces leaf ``L``.
+
+    Args:
+        num_leaves / num_spines / hosts_per_leaf: fabric dimensions.
+        manager_factory: callable returning a fresh buffer manager; called
+            once per switch so every switch has its own instance.
+        link_rate_bps: rate of all links (hosts and fabric).
+        buffer_bytes_per_port: shared buffer per switch = this x port count
+            (the paper's 4 MB per 8 ports = 512 KB per port).
+        queues_per_port / scheduler / ecn_threshold_bytes: passed to the
+            switch configuration.
+        base_rtt: end-to-end base RTT across the spine; each of the 8 link
+            traversals gets ``base_rtt / 8`` of propagation delay.
+        trace_queues: enable queue tracing on all switches.
+    """
+
+    def __init__(
+        self,
+        manager_factory: Callable[[], BufferManager],
+        num_leaves: int = 4,
+        num_spines: int = 4,
+        hosts_per_leaf: int = 4,
+        link_rate_bps: float = 10 * GBPS,
+        buffer_bytes_per_port: int = 512 * KB,
+        queues_per_port: int = 1,
+        scheduler: str = "fifo",
+        ecn_threshold_bytes: Optional[int] = None,
+        base_rtt: float = 80e-6,
+        trace_queues: bool = False,
+        simulator: Optional[Simulator] = None,
+    ) -> None:
+        if num_leaves < 2 or num_spines < 1 or hosts_per_leaf < 1:
+            raise ValueError("fabric dimensions must be positive (>=2 leaves)")
+        self.sim = simulator or Simulator()
+        self.num_leaves = num_leaves
+        self.num_spines = num_spines
+        self.hosts_per_leaf = hosts_per_leaf
+        self.link_rate_bps = link_rate_bps
+        self.base_rtt = base_rtt
+        link_delay = base_rtt / 8.0
+
+        self.network = Network(self.sim, bottleneck_bps=link_rate_bps, base_rtt=base_rtt)
+
+        # ------------------------------------------------------------------
+        # Switches
+        # ------------------------------------------------------------------
+        self.leaves: List[SwitchNode] = []
+        self.spines: List[SwitchNode] = []
+
+        leaf_ports = hosts_per_leaf + num_spines
+        spine_ports = num_leaves
+        for leaf_idx in range(num_leaves):
+            config = SwitchConfig(
+                num_ports=leaf_ports,
+                queues_per_port=queues_per_port,
+                port_rate_bps=link_rate_bps,
+                buffer_bytes=buffer_bytes_per_port * leaf_ports,
+                scheduler=scheduler,
+                ecn_threshold_bytes=ecn_threshold_bytes,
+                trace_queues=trace_queues,
+                name=f"leaf{leaf_idx}",
+            )
+            node = SwitchNode(f"leaf{leaf_idx}", self.sim, config, manager_factory())
+            self.network.add_switch(node)
+            self.leaves.append(node)
+        for spine_idx in range(num_spines):
+            config = SwitchConfig(
+                num_ports=spine_ports,
+                queues_per_port=queues_per_port,
+                port_rate_bps=link_rate_bps,
+                buffer_bytes=buffer_bytes_per_port * spine_ports,
+                scheduler=scheduler,
+                ecn_threshold_bytes=ecn_threshold_bytes,
+                trace_queues=trace_queues,
+                name=f"spine{spine_idx}",
+            )
+            node = SwitchNode(f"spine{spine_idx}", self.sim, config, manager_factory())
+            self.network.add_switch(node)
+            self.spines.append(node)
+
+        # ------------------------------------------------------------------
+        # Hosts and links
+        # ------------------------------------------------------------------
+        self.hosts: List[int] = []
+        self.host_leaf: Dict[int, int] = {}
+        for leaf_idx, leaf in enumerate(self.leaves):
+            for local in range(hosts_per_leaf):
+                host_id = leaf_idx * hosts_per_leaf + local
+                host = self.network.add_host(host_id, link_rate_bps)
+                self.network.connect_host_to_switch(host, leaf, local, link_delay)
+                self.hosts.append(host_id)
+                self.host_leaf[host_id] = leaf_idx
+
+        for leaf_idx, leaf in enumerate(self.leaves):
+            for spine_idx, spine in enumerate(self.spines):
+                leaf_port = hosts_per_leaf + spine_idx
+                spine_port = leaf_idx
+                self.network.connect_switches(leaf, leaf_port, spine, spine_port,
+                                              link_delay)
+                leaf.routing.add_uplink(leaf_port)
+
+        # Spine routing: every host is reached through its leaf's port.
+        for spine in self.spines:
+            for host_id, leaf_idx in self.host_leaf.items():
+                spine.routing.add_host_route(host_id, leaf_idx)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+    def hosts_of_leaf(self, leaf_idx: int) -> List[int]:
+        return [h for h, l in self.host_leaf.items() if l == leaf_idx]
+
+    def all_switches(self) -> List[SwitchNode]:
+        return self.leaves + self.spines
+
+    def total_switch_drops(self) -> int:
+        return sum(node.stats.total_lost_packets for node in self.all_switches())

@@ -1,0 +1,48 @@
+"""Raw packet-arrival patterns for traffic-manager-level experiments.
+
+The P4 prototype experiments (Figures 11-12) drive the switch directly with a
+long-lived flow plus a short burst; these helpers produce the corresponding
+arrival schedules as ``(time, size_bytes)`` lists that can be fed straight
+into :meth:`repro.switchsim.switch.SharedMemorySwitch.receive`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.units import transmission_time
+
+Arrival = Tuple[float, int]
+
+
+def constant_rate_arrivals(rate_bps: float, duration: float, packet_bytes: int = 1500,
+                           start_time: float = 0.0) -> List[Arrival]:
+    """Back-to-back packets at ``rate_bps`` for ``duration`` seconds."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if packet_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    gap = transmission_time(packet_bytes, rate_bps)
+    arrivals = []
+    t = start_time
+    while t < start_time + duration:
+        arrivals.append((t, packet_bytes))
+        t += gap
+    return arrivals
+
+
+def burst_arrivals(burst_bytes: int, rate_bps: float, packet_bytes: int = 1500,
+                   start_time: float = 0.0) -> List[Arrival]:
+    """A burst of ``burst_bytes`` sent back-to-back at ``rate_bps``."""
+    if burst_bytes <= 0:
+        raise ValueError("burst size must be positive")
+    arrivals = []
+    gap = transmission_time(packet_bytes, rate_bps)
+    t = start_time
+    remaining = burst_bytes
+    while remaining > 0:
+        size = min(packet_bytes, remaining)
+        arrivals.append((t, size))
+        remaining -= size
+        t += gap
+    return arrivals

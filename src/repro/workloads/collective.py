@@ -1,0 +1,87 @@
+"""Collective-communication workloads: all-to-all and all-reduce.
+
+The paper's AI-traffic experiments (Figures 18-19) use:
+
+* **all-to-all** -- every host sends the same amount of data to every other
+  host;
+* **all-reduce** -- flows generated from the prevailing *double binary tree*
+  algorithm (Sanders et al. 2009), where each rank exchanges reduce and
+  broadcast traffic with its parent in two complementary binary trees, all
+  flows having identical size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.spec import FlowSpec
+
+
+def all_to_all_flows(hosts: Sequence[int], flow_size_bytes: int,
+                     start_time: float = 0.0, priority: int = 0) -> List[FlowSpec]:
+    """One flow of ``flow_size_bytes`` from every host to every other host."""
+    if len(hosts) < 2:
+        raise ValueError("all-to-all needs at least two hosts")
+    flows = []
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            flows.append(
+                FlowSpec(src=src, dst=dst, size_bytes=flow_size_bytes,
+                         start_time=start_time, priority=priority)
+            )
+    return flows
+
+
+def double_binary_tree(num_ranks: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Parent maps of two complementary binary trees over ``num_ranks`` ranks.
+
+    Returns ``(tree_a, tree_b)``, each mapping ``rank -> parent_rank`` with the
+    root mapping to itself.  Tree A is a complete binary tree rooted at rank 0
+    (``parent(i) = (i - 1) // 2``); tree B is the same shape over the reversed
+    rank order, so a rank that is an interior node in one tree tends to be a
+    leaf in the other -- the load-balancing property the double binary tree
+    algorithm relies on.
+    """
+    if num_ranks < 2:
+        raise ValueError("need at least two ranks")
+
+    tree_a: Dict[int, int] = {}
+    tree_b: Dict[int, int] = {}
+    for i in range(num_ranks):
+        tree_a[i] = 0 if i == 0 else (i - 1) // 2
+    for i in range(num_ranks):
+        # Position of rank i in the reversed order.
+        pos = num_ranks - 1 - i
+        parent_pos = 0 if pos == 0 else (pos - 1) // 2
+        tree_b[i] = num_ranks - 1 - parent_pos
+    return tree_a, tree_b
+
+
+def all_reduce_flows(hosts: Sequence[int], flow_size_bytes: int,
+                     start_time: float = 0.0, priority: int = 0) -> List[FlowSpec]:
+    """Flows of one all-reduce round using the double binary tree algorithm.
+
+    Half of the data moves through each tree.  Every parent/child edge carries
+    one flow per direction (reduce up, broadcast down), with identical flow
+    sizes, as in the paper's all-reduce traffic.
+    """
+    hosts = list(hosts)
+    n = len(hosts)
+    if n < 2:
+        raise ValueError("all-reduce needs at least two hosts")
+    tree_a, tree_b = double_binary_tree(n)
+    flows: List[FlowSpec] = []
+    half = max(1, flow_size_bytes // 2)
+    for tree in (tree_a, tree_b):
+        for rank, parent in tree.items():
+            if rank == parent:
+                continue
+            src, dst = hosts[rank], hosts[parent]
+            # Reduce: child -> parent; Broadcast: parent -> child.
+            flows.append(FlowSpec(src=src, dst=dst, size_bytes=half,
+                                  start_time=start_time, priority=priority))
+            flows.append(FlowSpec(src=dst, dst=src, size_bytes=half,
+                                  start_time=start_time, priority=priority))
+    return flows

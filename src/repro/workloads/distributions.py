@@ -1,0 +1,122 @@
+"""Empirical flow-size distributions and load arithmetic.
+
+The paper's background traffic follows the *web-search* workload of the DCTCP
+paper (Alizadeh et al., SIGCOMM 2010); the all-to-all / all-reduce experiments
+use fixed-size flows.  The distributions below are the standard published CDFs
+used by a long line of datacenter-transport papers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+from repro.sim.rng import SeededRNG
+
+
+class EmpiricalDistribution:
+    """An empirical CDF over flow sizes with inverse-transform sampling.
+
+    Args:
+        points: (size_bytes, cumulative_probability) pairs, strictly
+            increasing in both coordinates, with the last probability == 1.0.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str = "custom") -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        sizes = [p[0] for p in points]
+        probs = [p[1] for p in points]
+        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+            raise ValueError("sizes must be strictly increasing")
+        if any(b < a for a, b in zip(probs, probs[1:])):
+            raise ValueError("probabilities must be non-decreasing")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("last probability must be 1.0")
+        self.name = name
+        self._sizes = sizes
+        self._probs = probs
+
+    def sample(self, rng: SeededRNG) -> int:
+        """Draw one flow size in bytes by inverse-transform sampling."""
+        u = rng.random()
+        idx = bisect.bisect_left(self._probs, u)
+        if idx == 0:
+            return max(1, int(self._sizes[0]))
+        if idx >= len(self._probs):
+            return int(self._sizes[-1])
+        p0, p1 = self._probs[idx - 1], self._probs[idx]
+        s0, s1 = self._sizes[idx - 1], self._sizes[idx]
+        if p1 == p0:
+            return max(1, int(s1))
+        frac = (u - p0) / (p1 - p0)
+        return max(1, int(s0 + frac * (s1 - s0)))
+
+    def mean(self) -> float:
+        """Mean flow size implied by trapezoidal interpolation of the CDF."""
+        total = 0.0
+        prev_size, prev_prob = self._sizes[0], 0.0
+        for size, prob in zip(self._sizes, self._probs):
+            mass = prob - prev_prob
+            total += mass * (size + prev_size) / 2.0
+            prev_size, prev_prob = size, prob
+        return total
+
+    def percentiles(self, ps: Sequence[float]) -> List[float]:
+        """Flow sizes at the requested cumulative probabilities (0-1)."""
+        out = []
+        for p in ps:
+            if not 0 <= p <= 1:
+                raise ValueError("probabilities must be in [0, 1]")
+            idx = bisect.bisect_left(self._probs, p)
+            idx = min(idx, len(self._sizes) - 1)
+            out.append(self._sizes[idx])
+        return out
+
+
+#: Web-search workload (DCTCP paper, Figure 5 therein).  Sizes in bytes.
+WEB_SEARCH_DISTRIBUTION = EmpiricalDistribution(
+    [
+        (6_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_333_000, 0.80),
+        (3_333_000, 0.90),
+        (6_667_000, 0.97),
+        (20_000_000, 1.00),
+    ],
+    name="web_search",
+)
+
+#: Data-mining workload (VL2 / Greenberg et al.), heavier-tailed.
+DATA_MINING_DISTRIBUTION = EmpiricalDistribution(
+    [
+        (100, 0.50),
+        (1_000, 0.60),
+        (10_000, 0.70),
+        (100_000, 0.80),
+        (1_000_000, 0.90),
+        (10_000_000, 0.97),
+        (1_000_000_000, 1.00),
+    ],
+    name="data_mining",
+)
+
+
+def flows_per_second_for_load(load: float, link_rate_bps: float,
+                              mean_flow_bytes: float, num_senders: int = 1) -> float:
+    """Poisson flow arrival rate per sender that produces the target load.
+
+    ``load`` is the fraction of ``link_rate_bps`` consumed in aggregate by
+    ``num_senders`` senders generating flows with the given mean size.
+    """
+    if not 0 < load:
+        raise ValueError("load must be positive")
+    if link_rate_bps <= 0 or mean_flow_bytes <= 0 or num_senders <= 0:
+        raise ValueError("rates, sizes and sender counts must be positive")
+    aggregate_bytes_per_sec = load * link_rate_bps / 8.0
+    return aggregate_bytes_per_sec / mean_flow_bytes / num_senders

@@ -1,0 +1,40 @@
+"""The flow specification shared by all workload generators."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_flow_spec_ids = itertools.count(1)
+
+
+@dataclass
+class FlowSpec:
+    """A single flow to be injected into the network simulator.
+
+    Attributes:
+        src / dst: host indices.
+        size_bytes: application bytes to transfer.
+        start_time: simulation time at which the flow opens.
+        priority: traffic class (0 = highest priority).
+        query_id: queries (partition-aggregate requests) group several flows;
+            the QCT of a query is the completion time of its last flow.
+        flow_id: unique identifier (auto-assigned).
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    start_time: float
+    priority: int = 0
+    query_id: Optional[int] = None
+    flow_id: int = field(default_factory=lambda: next(_flow_spec_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        if self.start_time < 0:
+            raise ValueError("start time cannot be negative")
+        if self.src == self.dst:
+            raise ValueError("source and destination must differ")

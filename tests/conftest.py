@@ -1,0 +1,7 @@
+"""Shared pytest configuration for the test suite."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: end-to-end network-simulation tests (seconds each)"
+    )

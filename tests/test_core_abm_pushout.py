@@ -1,0 +1,130 @@
+"""Tests for the ABM and Pushout baselines."""
+
+import math
+
+import pytest
+
+from repro.core import ABM, Pushout
+from repro.sim import Simulator
+from repro.sim.units import GBPS, KB, MB
+from repro.switchsim import Packet, SharedMemorySwitch, SwitchConfig
+
+
+def make_switch(manager, num_ports=4, buffer_bytes=200 * KB, queues_per_port=1):
+    sim = Simulator()
+    config = SwitchConfig(
+        num_ports=num_ports,
+        queues_per_port=queues_per_port,
+        port_rate_bps=10 * GBPS,
+        buffer_bytes=buffer_bytes,
+    )
+    return SharedMemorySwitch(config, manager, sim), sim
+
+
+class TestABM:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ABM(alpha=0)
+        with pytest.raises(ValueError):
+            ABM(min_drain_fraction=0)
+        with pytest.raises(ValueError):
+            ABM(min_drain_fraction=2)
+
+    def test_threshold_divides_by_active_queues(self):
+        abm = ABM(alpha=2.0)
+        switch, _ = make_switch(abm, num_ports=4, buffer_bytes=1 * MB)
+        q0 = switch.queue_for(0)
+        t_single = abm.threshold(q0, 0.0)
+        # Backlog two other queues of the same priority (the first packet of
+        # each port goes straight to the wire, the rest stay queued).
+        for port in (1, 2):
+            for _ in range(4):
+                switch.receive(Packet(size_bytes=1500), port)
+        assert switch.active_queue_count(priority=0) == 2
+        t_two_active = abm.threshold(q0, 0.0)
+        assert t_two_active < t_single
+        # Roughly half, modulo the small free-buffer reduction from ~12 KB added.
+        assert t_two_active == pytest.approx(t_single / 2, rel=0.05)
+
+    def test_new_queue_gets_full_drain_credit(self):
+        abm = ABM(alpha=2.0)
+        switch, _ = make_switch(abm)
+        q0 = switch.queue_for(0)
+        assert abm._normalized_drain(q0) == 1.0
+
+    def test_slow_draining_queue_gets_lower_threshold(self):
+        abm = ABM(alpha=2.0)
+        switch, _ = make_switch(abm)
+        q0, q1 = switch.queue_for(0), switch.queue_for(1)
+        # Fake drain-rate estimates: q0 drains at 10% of port rate, q1 at 100%.
+        q0._drain_rate = 0.1 * switch.port_rate_bytes_per_sec(0)
+        q1._drain_rate = switch.port_rate_bytes_per_sec(1)
+        assert abm.threshold(q0, 0.0) < abm.threshold(q1, 0.0)
+
+    def test_drain_fraction_floor(self):
+        abm = ABM(alpha=2.0, min_drain_fraction=0.2)
+        switch, _ = make_switch(abm)
+        q0 = switch.queue_for(0)
+        q0._drain_rate = 1.0  # practically zero compared to 10 Gbps
+        assert abm._normalized_drain(q0) == pytest.approx(0.2)
+
+
+class TestPushout:
+    def test_threshold_is_unbounded(self):
+        po = Pushout()
+        switch, _ = make_switch(po)
+        assert math.isinf(po.threshold(switch.queue_for(0), 0.0))
+
+    def test_accepts_whenever_buffer_has_room(self):
+        po = Pushout()
+        switch, _ = make_switch(po, buffer_bytes=100 * KB)
+        decision = po.admit(switch.queue_for(0), 1500, 0.0)
+        assert decision.accept and not decision.evictions
+
+    def test_evicts_longest_queue_when_full(self):
+        po = Pushout()
+        switch, _ = make_switch(po, num_ports=2, buffer_bytes=60 * KB)
+        # Fill queue 0 (longest) and partially queue 1.
+        while switch.cell_pool.can_fit(1500):
+            switch.receive(Packet(size_bytes=1500), 0)
+        decision = po.admit(switch.queue_for(1), 1500, 0.0)
+        assert decision.accept
+        assert decision.evictions
+        assert all(req.queue_id == 0 for req in decision.evictions)
+
+    def test_drops_arrival_when_own_queue_is_longest(self):
+        po = Pushout()
+        switch, _ = make_switch(po, num_ports=2, buffer_bytes=60 * KB)
+        while switch.cell_pool.can_fit(1500):
+            switch.receive(Packet(size_bytes=1500), 0)
+        decision = po.admit(switch.queue_for(0), 1500, 0.0)
+        assert not decision.accept
+        assert decision.reason == "self_longest"
+
+    def test_rejects_packet_larger_than_buffer(self):
+        po = Pushout()
+        switch, _ = make_switch(po, buffer_bytes=10 * KB)
+        decision = po.admit(switch.queue_for(0), 100 * KB, 0.0)
+        assert not decision.accept
+        assert decision.reason == "packet_larger_than_buffer"
+
+    def test_end_to_end_never_drops_burst_when_others_hold_buffer(self):
+        """The key Pushout property: arrivals at a short queue displace the long one."""
+        po = Pushout()
+        switch, sim = make_switch(po, num_ports=2, buffer_bytes=100 * KB)
+        for i in range(200):
+            sim.schedule(i * 1e-7, lambda: switch.receive(Packet(size_bytes=1500), 0))
+        sim.run(until=200 * 1e-7)
+        drops_before = switch.stats.dropped_packets
+        # Now a burst arrives at queue 1 while queue 0 holds most of the buffer.
+        for i in range(20):
+            sim.schedule(1e-9 + i * 1e-7,
+                         lambda: switch.receive(Packet(size_bytes=1500), 1))
+        sim.run(until=0.01)
+        q1 = switch.queue_for(1)
+        assert q1.dropped_packets == 0
+        assert switch.stats.evicted_packets > 0
+
+    def test_describe(self):
+        assert "head" in Pushout(evict_from_head=True).describe()
+        assert "tail" in Pushout(evict_from_head=False).describe()

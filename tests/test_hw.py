@@ -1,0 +1,132 @@
+"""Tests for the hardware functional and cost models."""
+
+import math
+
+import pytest
+
+from repro.hw import (
+    FixedPriorityArbiter,
+    HeadDropExecutorModel,
+    HeadDropSelectorModel,
+    MaximumFinder,
+    PriorityArbiterModel,
+    RoundRobinArbiterCircuit,
+    occamy_hardware_report,
+)
+
+
+class TestMaximumFinder:
+    def test_finds_maximum(self):
+        finder = MaximumFinder(num_inputs=8, bit_width=20)
+        idx, value = finder.find_max([3, 9, 1, 9, 0, 2, 5, 7])
+        assert value == 9
+        assert idx == 1  # ties resolve to the lower index
+
+    def test_input_validation(self):
+        finder = MaximumFinder(num_inputs=4, bit_width=4)
+        with pytest.raises(ValueError):
+            finder.find_max([1, 2, 3])
+        with pytest.raises(ValueError):
+            finder.find_max([1, 2, 3, 16])  # does not fit in 4 bits
+        with pytest.raises(ValueError):
+            MaximumFinder(num_inputs=1)
+        with pytest.raises(ValueError):
+            MaximumFinder(num_inputs=4, bit_width=0)
+
+    def test_tree_structure(self):
+        finder = MaximumFinder(num_inputs=8)
+        assert finder.tree_levels == 3
+        assert finder.comparator_nodes == 7
+
+    def test_cost_grows_with_inputs(self):
+        small = MaximumFinder(num_inputs=8).cost()
+        large = MaximumFinder(num_inputs=64).cost()
+        assert large.gate_count > small.gate_count
+        assert large.gate_delays > small.gate_delays
+
+    def test_cannot_meet_tight_cycle_budget(self):
+        """The paper's Difficulty 3: the MF latency exceeds one fast clock cycle."""
+        finder = MaximumFinder(num_inputs=64, bit_width=20)
+        assert not finder.meets_cycle_budget(clock_hz=2e9, gate_delay_ns=0.05)
+        assert finder.meets_cycle_budget(clock_hz=1e8, gate_delay_ns=0.05)
+
+    def test_non_power_of_two_inputs(self):
+        finder = MaximumFinder(num_inputs=5, bit_width=8)
+        idx, value = finder.find_max([1, 2, 10, 4, 5])
+        assert (idx, value) == (2, 10)
+
+
+class TestArbiters:
+    def test_round_robin_cycles_through_requesters(self):
+        arb = RoundRobinArbiterCircuit(4)
+        grants = [arb.arbitrate([True, True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 3, 0, 1]
+
+    def test_round_robin_skips_idle_requesters(self):
+        arb = RoundRobinArbiterCircuit(4)
+        assert arb.arbitrate([False, False, True, False]) == 2
+        assert arb.arbitrate([True, False, False, False]) == 0
+
+    def test_round_robin_no_request(self):
+        arb = RoundRobinArbiterCircuit(3)
+        assert arb.arbitrate([False, False, False]) is None
+
+    def test_round_robin_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiterCircuit(0)
+        with pytest.raises(ValueError):
+            RoundRobinArbiterCircuit(2).arbitrate([True])
+
+    def test_fixed_priority_scheduler_always_wins(self):
+        arb = FixedPriorityArbiter()
+        assert arb.arbitrate(True, True) == "scheduler"
+        assert arb.arbitrate(True, False) == "scheduler"
+        assert arb.arbitrate(False, True) == "headdrop"
+        assert arb.arbitrate(False, False) is None
+        assert arb.headdrop_blocked == 1
+        assert arb.blocking_fraction() == pytest.approx(0.5)
+
+    def test_blocking_fraction_empty(self):
+        assert FixedPriorityArbiter().blocking_fraction() == 0.0
+
+
+class TestCostModels:
+    def test_selector_matches_published_calibration(self):
+        cost = HeadDropSelectorModel(num_queues=64, bit_width=20).cost()
+        assert cost.luts == pytest.approx(1262, rel=0.05)
+        assert cost.flip_flops == pytest.approx(47, abs=5)
+        assert cost.timing_ns == pytest.approx(1.49, rel=0.1)
+        assert cost.area_mm2 == pytest.approx(0.023, rel=0.1)
+        assert cost.power_mw == pytest.approx(0.895, rel=0.1)
+
+    def test_arbiter_and_executor_published_values(self):
+        arbiter = PriorityArbiterModel().cost()
+        executor = HeadDropExecutorModel().cost()
+        assert arbiter.luts == 3 and arbiter.flip_flops == 0
+        assert executor.luts == 47 and executor.flip_flops == 7
+
+    def test_selector_cost_scales_with_queues(self):
+        small = HeadDropSelectorModel(num_queues=32).cost()
+        big = HeadDropSelectorModel(num_queues=128).cost()
+        assert big.luts > small.luts
+        assert big.timing_ns > small.timing_ns
+
+    def test_report_totals(self):
+        report = occamy_hardware_report()
+        assert report.total_luts == sum(c.luts for c in report.components)
+        assert report.total_area_mm2 < 0.03  # "less than 0.03 mm^2"
+        assert report.total_power_mw < 1.5
+        assert report.critical_path_ns == pytest.approx(1.49, rel=0.1)
+        assert report.cycles_per_expulsion(clock_ghz=1.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeadDropSelectorModel(num_queues=0)
+        with pytest.raises(ValueError):
+            HeadDropExecutorModel(parallel_pointer_lists=0)
+
+    def test_rows_have_table1_columns(self):
+        rows = occamy_hardware_report().rows()
+        for row in rows:
+            assert {"module", "luts", "flip_flops", "timing_ns",
+                    "area_mm2", "power_mw"} <= set(row)

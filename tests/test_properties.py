@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DynamicThreshold, Occamy, Pushout
+from repro.core.expulsion import RoundRobinPointer, TokenBucket
+from repro.hw import MaximumFinder, RoundRobinArbiterCircuit
+from repro.metrics.percentiles import cdf_points, mean, percentile
+from repro.sim import Simulator
+from repro.sim.units import GBPS, KB
+from repro.switchsim import Packet, SharedMemorySwitch, SwitchConfig
+from repro.switchsim.cells import CellPool
+
+
+# ----------------------------------------------------------------------
+# Cell pool: allocation/release conservation
+# ----------------------------------------------------------------------
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=9000), min_size=1, max_size=60),
+    cell_bytes=st.sampled_from([64, 200, 256]),
+)
+@settings(max_examples=60, deadline=None)
+def test_cell_pool_conservation(sizes, cell_bytes):
+    pool = CellPool(buffer_bytes=256 * KB, cell_bytes=cell_bytes)
+    descriptors = []
+    for size in sizes:
+        pd = pool.allocate(Packet(size_bytes=size))
+        if pd is not None:
+            descriptors.append(pd)
+        # Invariant: used + free == total, never negative.
+        assert pool.used_cells + pool.free_cells == pool.total_cells
+        assert pool.free_cells >= 0
+    for pd in descriptors:
+        pool.release(pd, read_data=False)
+    assert pool.free_cells == pool.total_cells
+
+
+# ----------------------------------------------------------------------
+# DT threshold properties
+# ----------------------------------------------------------------------
+@given(
+    alpha=st.floats(min_value=0.125, max_value=16.0),
+    occupancy_packets=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_dt_threshold_nonnegative_and_proportional(alpha, occupancy_packets):
+    sim = Simulator()
+    config = SwitchConfig(num_ports=2, port_rate_bps=10 * GBPS, buffer_bytes=100 * KB)
+    dt = DynamicThreshold(alpha=alpha)
+    switch = SharedMemorySwitch(config, dt, sim)
+    for _ in range(occupancy_packets):
+        switch.receive(Packet(size_bytes=1500), 0)
+    queue = switch.queue_for(1)
+    threshold = dt.threshold(queue, 0.0)
+    assert threshold >= 0
+    assert threshold <= alpha * switch.buffer_size_bytes
+    assert threshold == alpha * switch.free_buffer_bytes
+
+
+# ----------------------------------------------------------------------
+# Eq. 2: steady-state free buffer decreases with alpha and N
+# ----------------------------------------------------------------------
+@given(
+    alpha=st.floats(min_value=0.25, max_value=32.0),
+    n=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_dt_steady_state_reservation_bounds(alpha, n):
+    dt = DynamicThreshold(alpha=alpha)
+    buffer_bytes = 1_000_000.0
+    free = dt.steady_state_free_buffer(n, buffer_bytes)
+    assert 0 < free <= buffer_bytes
+    # Larger alpha reserves less free buffer.
+    assert free <= dt.steady_state_free_buffer(n, buffer_bytes) + 1e-9
+    larger_alpha = DynamicThreshold(alpha=alpha * 2)
+    assert larger_alpha.steady_state_free_buffer(n, buffer_bytes) < free
+
+
+# ----------------------------------------------------------------------
+# Occamy fairness bound (Eq. 3) is always > 1
+# ----------------------------------------------------------------------
+@given(
+    alpha=st.floats(min_value=0.5, max_value=16.0),
+    n=st.integers(min_value=0, max_value=32),
+    m=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=100, deadline=None)
+def test_occamy_fair_ratio_exceeds_one(alpha, n, m):
+    occ = Occamy(alpha=alpha)
+    assert occ.max_fair_arrival_ratio(n, m) > 1.0
+
+
+# ----------------------------------------------------------------------
+# Token bucket never exceeds capacity and never goes negative via expulsion
+# ----------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["fwd", "expel", "wait"]),
+                  st.floats(min_value=0.0, max_value=20.0)),
+        min_size=1, max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_token_bucket_invariants(ops):
+    bucket = TokenBucket(rate_cells_per_sec=1000.0, capacity_cells=100.0)
+    now = 0.0
+    expel_consumed = 0.0
+    for kind, amount in ops:
+        if kind == "wait":
+            now += amount / 1000.0
+        elif kind == "fwd":
+            bucket.consume_forwarding(amount, now)
+        else:
+            before = bucket.available(now)
+            if bucket.try_consume_expulsion(amount, now):
+                expel_consumed += amount
+                # Expulsion only granted when tokens covered it.
+                assert before + 1e-6 >= amount
+        assert bucket.available(now) <= bucket.capacity + 1e-9
+    assert bucket.expel_cells_consumed >= expel_consumed - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Round-robin arbiters: grants are work-conserving and fair
+# ----------------------------------------------------------------------
+@given(bitmap=st.lists(st.booleans(), min_size=1, max_size=32))
+@settings(max_examples=100, deadline=None)
+def test_round_robin_grants_only_set_bits(bitmap):
+    rr = RoundRobinPointer()
+    grant = rr.grant(bitmap)
+    if any(bitmap):
+        assert grant is not None and bitmap[grant]
+    else:
+        assert grant is None
+
+
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    rounds=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_round_robin_fairness_over_full_rounds(n, rounds):
+    arb = RoundRobinArbiterCircuit(n)
+    counts = [0] * n
+    for _ in range(rounds * n):
+        granted = arb.arbitrate([True] * n)
+        counts[granted] += 1
+    assert max(counts) - min(counts) == 0  # perfectly fair when all request
+
+
+# ----------------------------------------------------------------------
+# Maximum finder agrees with Python's max
+# ----------------------------------------------------------------------
+@given(values=st.lists(st.integers(min_value=0, max_value=2**16 - 1),
+                       min_size=2, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_maximum_finder_matches_builtin_max(values):
+    finder = MaximumFinder(num_inputs=len(values), bit_width=16)
+    idx, value = finder.find_max(values)
+    assert value == max(values)
+    assert values[idx] == value
+    assert idx == values.index(value)  # ties resolve to the lowest index
+
+
+# ----------------------------------------------------------------------
+# Percentiles
+# ----------------------------------------------------------------------
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=200),
+       p=st.floats(min_value=0, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_percentile_bounded_by_min_max(values, p):
+    result = percentile(values, p)
+    tolerance = 1e-9 + 1e-9 * max(abs(v) for v in values)
+    assert min(values) - tolerance <= result <= max(values) + tolerance
+    assert min(values) - tolerance <= mean(values) <= max(values) + tolerance
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_cdf_points_are_monotone(values):
+    points = cdf_points(values)
+    xs = [x for x, _ in points]
+    ps = [p for _, p in points]
+    assert xs == sorted(xs)
+    assert ps == sorted(ps)
+    assert ps[-1] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Switch-level property: packets are conserved for any scheme
+# ----------------------------------------------------------------------
+@given(
+    scheme=st.sampled_from(["dt", "occamy", "pushout"]),
+    arrivals=st.lists(st.tuples(st.integers(min_value=64, max_value=1500),
+                                st.integers(min_value=0, max_value=1)),
+                      min_size=1, max_size=80),
+)
+@settings(max_examples=40, deadline=None)
+def test_switch_packet_conservation_property(scheme, arrivals):
+    sim = Simulator()
+    config = SwitchConfig(num_ports=2, port_rate_bps=10 * GBPS, buffer_bytes=30 * KB)
+    manager = {"dt": DynamicThreshold(alpha=1.0),
+               "occamy": Occamy(alpha=8.0),
+               "pushout": Pushout()}[scheme]
+    switch = SharedMemorySwitch(config, manager, sim)
+    for i, (size, port) in enumerate(arrivals):
+        sim.schedule(i * 1e-7, lambda s=size, p=port: switch.receive(Packet(size_bytes=s), p))
+    sim.run()
+    stats = switch.stats
+    assert stats.arrived_packets == len(arrivals)
+    assert stats.arrived_packets == (
+        stats.transmitted_packets + stats.dropped_packets
+        + stats.expelled_packets + stats.evicted_packets
+    )
+    # Buffer fully drains once all arrivals are processed.
+    assert switch.occupancy_bytes == 0

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        order = [q.pop().time for _ in range(3)]
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_fifo(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: "first")
+        second = q.push(1.0, lambda: "second")
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        keep = q.push(2.0, lambda: None)
+        ev.cancel()
+        assert q.pop() is keep
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_empty_pop_returns_none(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda: None)
+        assert q and len(q) == 1
+        q.clear()
+        assert len(q) == 0
+
+
+class TestSimulator:
+    def test_callbacks_run_in_order_and_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        executed = sim.run()
+        assert executed == 2
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == []
+        assert sim.now == 5.0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(0.5, lambda: None)
+
+    def test_stop_aborts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1.0, lambda: None)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+
+    def test_cancel_none_is_noop(self):
+        sim = Simulator()
+        sim.cancel(None)  # must not raise
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(ev)
+        sim.run()
+        assert fired == []
+
+    def test_reset_clears_state(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0

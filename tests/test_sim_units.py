@@ -1,0 +1,84 @@
+"""Tests for unit helpers and the seeded RNG."""
+
+import pytest
+
+from repro.sim.rng import SeededRNG
+from repro.sim.units import (
+    GBPS,
+    KB,
+    MB,
+    US,
+    bits_to_bytes,
+    bytes_to_bits,
+    rate_to_bytes_per_sec,
+    transmission_time,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+        assert GBPS == 1_000_000_000
+        assert US == pytest.approx(1e-6)
+
+    def test_bits_bytes_roundtrip(self):
+        assert bytes_to_bits(100) == 800
+        assert bits_to_bytes(800) == 100
+        assert bits_to_bytes(bytes_to_bits(12345)) == 12345
+
+    def test_rate_conversion(self):
+        assert rate_to_bytes_per_sec(8 * GBPS) == 1e9
+
+    def test_transmission_time(self):
+        # 1500 bytes at 10 Gbps = 1.2 microseconds.
+        assert transmission_time(1500, 10 * GBPS) == pytest.approx(1.2e-6)
+
+    def test_transmission_time_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            transmission_time(1500, 0)
+
+
+class TestSeededRNG:
+    def test_same_seed_same_sequence(self):
+        a = SeededRNG(42)
+        b = SeededRNG(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRNG(1)
+        b = SeededRNG(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_streams_are_reproducible_and_independent(self):
+        a_child = SeededRNG(7).child("traffic")
+        b_child = SeededRNG(7).child("traffic")
+        other = SeededRNG(7).child("other")
+        seq_a = [a_child.random() for _ in range(5)]
+        seq_b = [b_child.random() for _ in range(5)]
+        seq_other = [other.random() for _ in range(5)]
+        assert seq_a == seq_b
+        assert seq_a != seq_other
+
+    def test_expovariate_positive(self):
+        rng = SeededRNG(3)
+        assert all(rng.expovariate(100.0) > 0 for _ in range(100))
+
+    def test_poisson_interarrivals_requires_positive_rate(self):
+        rng = SeededRNG(0)
+        with pytest.raises(ValueError):
+            next(rng.poisson_interarrivals(0))
+
+    def test_poisson_interarrival_mean(self):
+        rng = SeededRNG(5)
+        gen = rng.poisson_interarrivals(1000.0)
+        samples = [next(gen) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(1e-3, rel=0.1)
+
+    def test_sample_and_choice(self):
+        rng = SeededRNG(9)
+        population = list(range(20))
+        picked = rng.sample(population, 5)
+        assert len(set(picked)) == 5
+        assert rng.choice(population) in population

@@ -1,0 +1,199 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.sim.rng import SeededRNG
+from repro.workloads import (
+    DATA_MINING_DISTRIBUTION,
+    EmpiricalDistribution,
+    FlowSpec,
+    IncastQueryGenerator,
+    PoissonFlowGenerator,
+    WEB_SEARCH_DISTRIBUTION,
+    all_reduce_flows,
+    all_to_all_flows,
+    burst_arrivals,
+    constant_rate_arrivals,
+    double_binary_tree,
+    flows_per_second_for_load,
+)
+
+
+class TestFlowSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(src=0, dst=1, size_bytes=0, start_time=0.0)
+        with pytest.raises(ValueError):
+            FlowSpec(src=0, dst=0, size_bytes=100, start_time=0.0)
+        with pytest.raises(ValueError):
+            FlowSpec(src=0, dst=1, size_bytes=100, start_time=-1.0)
+
+    def test_unique_flow_ids(self):
+        a = FlowSpec(src=0, dst=1, size_bytes=100, start_time=0.0)
+        b = FlowSpec(src=0, dst=1, size_bytes=100, start_time=0.0)
+        assert a.flow_id != b.flow_id
+
+
+class TestDistributions:
+    def test_builtin_distributions_sample_in_range(self):
+        rng = SeededRNG(1)
+        for dist in (WEB_SEARCH_DISTRIBUTION, DATA_MINING_DISTRIBUTION):
+            samples = [dist.sample(rng) for _ in range(500)]
+            assert all(s >= 1 for s in samples)
+            assert max(samples) <= dist._sizes[-1]
+
+    def test_websearch_mean_order_of_magnitude(self):
+        # The web-search workload's mean flow size is on the order of 1 MB.
+        assert 2e5 < WEB_SEARCH_DISTRIBUTION.mean() < 4e6
+
+    def test_sampling_is_deterministic_per_seed(self):
+        a = [WEB_SEARCH_DISTRIBUTION.sample(SeededRNG(5)) for _ in range(1)]
+        b = [WEB_SEARCH_DISTRIBUTION.sample(SeededRNG(5)) for _ in range(1)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(100, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(100, 0.5), (50, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(50, 0.5), (100, 0.9)])
+
+    def test_percentiles(self):
+        dist = EmpiricalDistribution([(10, 0.5), (100, 1.0)])
+        assert dist.percentiles([0.0, 0.5, 1.0]) == [10, 10, 100]
+        with pytest.raises(ValueError):
+            dist.percentiles([1.5])
+
+    def test_flows_per_second_for_load(self):
+        rate = flows_per_second_for_load(0.5, 10e9, 1e6, num_senders=10)
+        # Aggregate bytes/s = 0.5 * 1.25e9; per sender = 62.5e6; /1e6 = 62.5.
+        assert rate == pytest.approx(62.5)
+        with pytest.raises(ValueError):
+            flows_per_second_for_load(0, 10e9, 1e6)
+
+
+class TestPoissonGenerator:
+    def test_generates_flows_within_window(self):
+        gen = PoissonFlowGenerator(list(range(8)), WEB_SEARCH_DISTRIBUTION,
+                                   flows_per_second=2000, rng=SeededRNG(1))
+        flows = gen.generate(duration=0.05)
+        assert flows
+        assert all(0 <= f.start_time < 0.05 for f in flows)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_rate_roughly_matches(self):
+        gen = PoissonFlowGenerator(list(range(4)), WEB_SEARCH_DISTRIBUTION,
+                                   flows_per_second=5000, rng=SeededRNG(2))
+        flows = gen.generate(duration=0.1)
+        assert len(flows) == pytest.approx(500, rel=0.2)
+
+    def test_receiver_restriction(self):
+        gen = PoissonFlowGenerator(list(range(8)), WEB_SEARCH_DISTRIBUTION,
+                                   flows_per_second=1000, rng=SeededRNG(3),
+                                   receivers=[7])
+        flows = gen.generate(duration=0.05)
+        assert all(f.dst == 7 for f in flows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonFlowGenerator([0], WEB_SEARCH_DISTRIBUTION, 100, SeededRNG(0))
+        gen = PoissonFlowGenerator([0, 1], WEB_SEARCH_DISTRIBUTION, 100, SeededRNG(0))
+        with pytest.raises(ValueError):
+            gen.generate(duration=0)
+
+
+class TestIncastGenerator:
+    def test_query_structure(self):
+        gen = IncastQueryGenerator(clients=[0], servers=list(range(1, 9)),
+                                   query_size_bytes=80_000, fanout=8,
+                                   queries_per_second=100, rng=SeededRNG(1))
+        flows = gen.make_query(client=0, start_time=0.01)
+        assert len(flows) == 8
+        assert all(f.dst == 0 for f in flows)
+        assert all(f.query_id == flows[0].query_id for f in flows)
+        assert sum(f.size_bytes for f in flows) == 80_000
+        assert len({f.src for f in flows}) == 8
+
+    def test_fanout_larger_than_server_pool_reuses_servers(self):
+        gen = IncastQueryGenerator(clients=[0], servers=[1, 2, 3],
+                                   query_size_bytes=9000, fanout=6,
+                                   queries_per_second=10, rng=SeededRNG(2))
+        flows = gen.make_query(0, 0.0)
+        assert len(flows) == 6
+
+    def test_generate_poisson_queries(self):
+        gen = IncastQueryGenerator(clients=[0, 1], servers=list(range(2, 10)),
+                                   query_size_bytes=40_000, fanout=4,
+                                   queries_per_second=200, rng=SeededRNG(3))
+        flows = gen.generate(duration=0.1)
+        query_ids = {f.query_id for f in flows}
+        assert len(query_ids) > 5
+        assert all(len([f for f in flows if f.query_id == qid]) == 4
+                   for qid in query_ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncastQueryGenerator([], [1], 1000, 1, 1, SeededRNG(0))
+        with pytest.raises(ValueError):
+            IncastQueryGenerator([0], [1], 1000, 0, 1, SeededRNG(0))
+        with pytest.raises(ValueError):
+            IncastQueryGenerator([0], [1], 1, 10, 1, SeededRNG(0))
+
+
+class TestCollectives:
+    def test_all_to_all_count_and_symmetry(self):
+        flows = all_to_all_flows(list(range(4)), 1000)
+        assert len(flows) == 12
+        pairs = {(f.src, f.dst) for f in flows}
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert all(f.size_bytes == 1000 for f in flows)
+
+    def test_double_binary_tree_structure(self):
+        tree_a, tree_b = double_binary_tree(8)
+        for tree in (tree_a, tree_b):
+            roots = [r for r, p in tree.items() if r == p]
+            assert len(roots) == 1
+            assert set(tree) == set(range(8))
+            # Every non-root eventually reaches the root (no cycles).
+            root = roots[0]
+            for rank in tree:
+                seen = set()
+                node = rank
+                while node != root:
+                    assert node not in seen
+                    seen.add(node)
+                    node = tree[node]
+        assert tree_a != tree_b
+
+    def test_all_reduce_flows_identical_sizes(self):
+        flows = all_reduce_flows(list(range(6)), 4096)
+        assert flows
+        assert len({f.size_bytes for f in flows}) == 1
+        assert all(f.src != f.dst for f in flows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            all_to_all_flows([0], 100)
+        with pytest.raises(ValueError):
+            all_reduce_flows([0], 100)
+        with pytest.raises(ValueError):
+            double_binary_tree(1)
+
+
+class TestBurstArrivals:
+    def test_constant_rate_spacing(self):
+        arrivals = constant_rate_arrivals(10e9, duration=12e-6, packet_bytes=1500)
+        assert len(arrivals) == 10
+        gaps = [b[0] - a[0] for a, b in zip(arrivals, arrivals[1:])]
+        assert all(g == pytest.approx(1.2e-6) for g in gaps)
+
+    def test_burst_total_bytes(self):
+        arrivals = burst_arrivals(10_000, 100e9, packet_bytes=1500)
+        assert sum(size for _, size in arrivals) == 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_rate_arrivals(10e9, 0)
+        with pytest.raises(ValueError):
+            burst_arrivals(0, 10e9)
