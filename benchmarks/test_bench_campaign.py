@@ -1,0 +1,36 @@
+"""Micro-benchmark for the campaign executor: serial vs parallel sweeps.
+
+Times the same 4-run sweep (fig13 at ``bench`` scale, occamy vs dt over two
+seeds) executed serially and on a 2-worker pool, so ``pytest benchmarks/
+--benchmark-only`` reports the orchestration speedup (and its process-pool
+overhead floor) alongside the per-figure numbers.  On a single-core host the
+pooled variant measures pure orchestration overhead rather than a speedup;
+with >= 2 cores it approaches the per-run maximum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignExecutor, RunSpec
+
+SWEEP = [
+    RunSpec("fig13", scale="bench", seed=seed, params={"schemes": [scheme]})
+    for seed in (0, 1)
+    for scheme in ("occamy", "dt")
+]
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "jobs2"])
+def test_bench_campaign_sweep(benchmark, jobs):
+    def sweep():
+        return CampaignExecutor(jobs=jobs).run(list(SWEEP))
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(outcomes) == len(SWEEP)
+    assert all(o.status == "ok" for o in outcomes)
+    benchmark.extra_info["runs"] = len(outcomes)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["sim_elapsed_total"] = round(
+        sum(o.elapsed for o in outcomes), 3
+    )

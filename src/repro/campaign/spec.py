@@ -1,0 +1,195 @@
+"""Declarative sweep specifications for experiment campaigns.
+
+A campaign is a grid of experiment runs: experiment x scale x seed x
+parameter overrides.  :class:`RunSpec` pins down one run; :class:`GridSpec`
+describes a cartesian product of runs; :class:`SweepSpec` names a list of
+grids and expands them into the concrete run list the executor consumes.
+
+Specs are expressible both in Python (construct the dataclasses directly)
+and as JSON files::
+
+    {
+      "name": "occamy-vs-dt",
+      "grids": [
+        {
+          "experiments": ["fig13"],
+          "scales": ["bench"],
+          "seeds": [0, 1],
+          "params": {
+            "schemes": [["occamy"], ["dt"]],
+            "background_load": [0.3, 0.7]
+          }
+        }
+      ]
+    }
+
+Each entry of ``params`` maps a keyword argument of the experiment's ``run``
+function to the list of values to sweep; the grid is the cartesian product
+over every axis (the example expands to 2 seeds x 2 schemes x 2 loads = 8
+runs).
+
+Every :class:`RunSpec` has a stable :meth:`~RunSpec.config_hash` derived
+from the canonical JSON encoding of its fields, so the same configuration
+hashes identically across processes and sessions -- this is the key of the
+on-disk result store and what makes ``--resume`` work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+
+def canonical_json(data: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _require_list(value: object, name: str) -> list:
+    """Reject strings/scalars where a JSON list is required.
+
+    Guards against e.g. ``"experiments": "fig13"`` silently fanning out into
+    one run per character.
+    """
+    if isinstance(value, (str, bytes)) or not isinstance(value, (list, tuple)):
+        raise ValueError(f"{name} must be a list, got {value!r}")
+    return list(value)
+
+
+@dataclass
+class RunSpec:
+    """One fully-determined experiment run."""
+
+    experiment: str
+    scale: str = "small"
+    seed: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        return cls(
+            experiment=str(data["experiment"]),
+            scale=str(data.get("scale", "small")),
+            seed=int(data.get("seed", 0)),
+            params=dict(data.get("params", {})),
+        )
+
+    def config_hash(self) -> str:
+        """A 16-hex-digit digest stable across processes and sessions."""
+        digest = hashlib.sha256(canonical_json(self.to_dict()).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def label(self) -> str:
+        """Compact human-readable identity for progress lines."""
+        parts = [self.experiment, f"scale={self.scale}", f"seed={self.seed}"]
+        for key in sorted(self.params):
+            parts.append(f"{key}={self.params[key]}")
+        return " ".join(parts)
+
+
+@dataclass
+class GridSpec:
+    """A cartesian product of runs over experiments, scales, seeds and params."""
+
+    experiments: List[str]
+    scales: List[str] = field(default_factory=lambda: ["small"])
+    seeds: List[int] = field(default_factory=lambda: [0])
+    #: parameter name -> list of values to sweep (cartesian product).
+    params: Dict[str, List[object]] = field(default_factory=dict)
+
+    def expand(self) -> Iterator[RunSpec]:
+        param_names = sorted(self.params)
+        value_lists = [self.params[name] for name in param_names]
+        for experiment in self.experiments:
+            for scale in self.scales:
+                for seed in self.seeds:
+                    for combo in itertools.product(*value_lists):
+                        yield RunSpec(
+                            experiment=experiment,
+                            scale=scale,
+                            seed=seed,
+                            params=dict(zip(param_names, combo)),
+                        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiments": list(self.experiments),
+            "scales": list(self.scales),
+            "seeds": list(self.seeds),
+            "params": {k: list(v) for k, v in self.params.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GridSpec":
+        experiments = _require_list(data.get("experiments"), "experiments")
+        if not experiments:
+            raise ValueError("grid spec needs a non-empty 'experiments' list")
+        return cls(
+            experiments=[str(e) for e in experiments],
+            scales=[str(s) for s in _require_list(data.get("scales", ["small"]), "scales")],
+            seeds=[int(s) for s in _require_list(data.get("seeds", [0]), "seeds")],
+            params={
+                str(k): list(_require_list(v, f"params[{k!r}]"))
+                for k, v in data.get("params", {}).items()
+            },
+        )
+
+
+@dataclass
+class SweepSpec:
+    """A named campaign: a list of grids expanded into concrete runs."""
+
+    name: str
+    grids: List[GridSpec] = field(default_factory=list)
+
+    def expand(self) -> List[RunSpec]:
+        """All runs of the campaign, deduplicated by config hash."""
+        seen: Dict[str, RunSpec] = {}
+        for grid in self.grids:
+            for spec in grid.expand():
+                seen.setdefault(spec.config_hash(), spec)
+        return list(seen.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "grids": [g.to_dict() for g in self.grids]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        return cls(
+            name=str(data.get("name", "campaign")),
+            grids=[GridSpec.from_dict(g) for g in data.get("grids", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SweepSpec":
+        return cls.from_json(Path(path).read_text())
+
+    @classmethod
+    def single(cls, name: str, specs: Sequence[RunSpec]) -> "SweepSpec":
+        """Wrap pre-built :class:`RunSpec`s (one single-point grid each)."""
+        grids = [
+            GridSpec(
+                experiments=[s.experiment],
+                scales=[s.scale],
+                seeds=[s.seed],
+                params={k: [v] for k, v in s.params.items()},
+            )
+            for s in specs
+        ]
+        return cls(name=name, grids=grids)

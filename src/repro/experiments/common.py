@@ -194,6 +194,28 @@ class ExperimentResult:
                 out.append(row)
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dict form suitable for JSON serialization.
+
+        Row values must themselves be JSON-serializable (the experiments only
+        emit strings, numbers and booleans); a JSON round-trip is lossless for
+        those types.
+        """
+        return {
+            "experiment": self.experiment,
+            "notes": self.notes,
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            experiment=str(data["experiment"]),
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=str(data.get("notes", "")),
+        )
+
     def format_table(self, float_digits: int = 4) -> str:
         """Render the rows as an aligned text table."""
         cols = self.columns()

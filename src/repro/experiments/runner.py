@@ -4,10 +4,13 @@ Usage::
 
     python -m repro.experiments.runner list
     python -m repro.experiments.runner fig12 --scale small --seed 1
-    python -m repro.experiments.runner all --scale bench
+    python -m repro.experiments.runner all --scale bench --jobs 4
 
 ``all`` runs every experiment at the requested scale and prints each table;
 it is the closest thing to "regenerate the paper's evaluation section".
+With ``--jobs N`` the experiments execute on the campaign worker pool
+(:mod:`repro.campaign`) instead of serially; results are identical
+run-for-run because every experiment still receives the same seed.
 """
 
 from __future__ import annotations
@@ -55,16 +58,71 @@ def get_runner(name: str) -> Callable[..., ExperimentResult]:
 
 
 def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by name and return its result."""
+    """Run one experiment by name and return its result.
+
+    Flow/query id counters are reset first so a run's results depend only on
+    its (name, scale, seed) -- not on what ran earlier in this process (flow
+    ids feed the ECMP path hash).
+    """
+    from repro.workloads import reset_workload_ids
+
+    reset_workload_ids()
     return get_runner(name)(scale=scale, seed=seed)
 
 
+def specs_for_all(scale: str = "small", seed: int = 0,
+                  names: List[str] | None = None,
+                  vary_seed: bool = False) -> List["RunSpec"]:
+    """The campaign run specs behind :func:`run_all`.
+
+    With ``vary_seed`` every experiment gets ``seed + index`` (its position
+    in the run order) instead of all experiments sharing one seed.
+    """
+    from repro.campaign.spec import RunSpec
+
+    ordered = names or sorted(EXPERIMENTS)
+    return [
+        RunSpec(experiment=name, scale=scale,
+                seed=seed + index if vary_seed else seed)
+        for index, name in enumerate(ordered)
+    ]
+
+
 def run_all(scale: str = "small", seed: int = 0,
-            names: List[str] | None = None) -> List[ExperimentResult]:
-    """Run every (or the selected) experiment and return all results."""
-    results = []
-    for name in names or sorted(EXPERIMENTS):
-        results.append(run_experiment(name, scale=scale, seed=seed))
+            names: List[str] | None = None,
+            jobs: int = 1,
+            vary_seed: bool = False,
+            progress: Callable[[str, float], None] | None = None,
+    ) -> List[ExperimentResult]:
+    """Run every (or the selected) experiment and return all results.
+
+    ``jobs > 1`` delegates to the campaign executor's worker pool; the
+    results come back in the same order either way, and each experiment sees
+    the same seed, so parallel and serial runs match row-for-row.  A failing
+    experiment raises and stops further experiments (the single-shot runner
+    keeps its fail-fast contract; use ``python -m repro.campaign`` for
+    failure-tolerant sweeps).  ``progress(name, elapsed_s)`` is called as
+    each experiment completes (in completion order when parallel).
+    """
+    from repro.campaign.executor import CampaignExecutor
+
+    specs = specs_for_all(scale=scale, seed=seed, names=names, vary_seed=vary_seed)
+
+    def on_progress(done: int, total: int, outcome) -> None:
+        if progress and outcome.ok:
+            progress(outcome.spec.experiment, outcome.elapsed)
+
+    outcomes = CampaignExecutor(jobs=jobs).run(
+        specs, progress=on_progress, fail_fast=True
+    )
+    results: List[ExperimentResult] = []
+    for outcome in outcomes:
+        if not outcome.ok or outcome.result is None:
+            message = f"experiment {outcome.spec.experiment!r} failed: {outcome.error}"
+            if outcome.traceback:
+                message += f"\n{outcome.traceback}"
+            raise RuntimeError(message)
+        results.append(outcome.result)
     return results
 
 
@@ -76,6 +134,11 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--scale", default="small", choices=["bench", "small", "paper"],
                         help="scenario scale (default: small)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for 'all' (default: 1 = serial)")
+    parser.add_argument("--vary-seed", action="store_true",
+                        help="give each experiment of 'all' seed + its index "
+                             "instead of one shared seed")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -84,12 +147,20 @@ def main(argv: List[str] | None = None) -> int:
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.time()
-        result = run_experiment(name, scale=args.scale, seed=args.seed)
-        elapsed = time.time() - start
+    start = time.time()
+
+    def report_progress(name: str, run_elapsed: float) -> None:
+        print(f"[{name} completed in {run_elapsed:.1f}s]", flush=True)
+
+    results = run_all(scale=args.scale, seed=args.seed, names=names,
+                      jobs=args.jobs, vary_seed=args.vary_seed,
+                      progress=report_progress)
+    elapsed = time.time() - start
+    for result in results:
         print(result)
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        print()
+    print(f"[{len(results)} experiment(s) completed in {elapsed:.1f}s, "
+          f"jobs={args.jobs}]")
     return 0
 
 

@@ -17,6 +17,12 @@ from repro.workloads.spec import FlowSpec
 _query_ids = itertools.count(1)
 
 
+def reset_query_ids() -> None:
+    """Restart automatic query-id assignment from 1 (see ``reset_flow_ids``)."""
+    global _query_ids
+    _query_ids = itertools.count(1)
+
+
 class IncastQueryGenerator:
     """Generates incast queries from a set of servers towards client hosts."""
 

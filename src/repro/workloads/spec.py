@@ -9,6 +9,18 @@ from typing import Optional
 _flow_spec_ids = itertools.count(1)
 
 
+def reset_flow_ids() -> None:
+    """Restart automatic flow-id assignment from 1.
+
+    Flow ids feed the ECMP path hash, so two runs of the same scenario only
+    take identical paths if they draw identical ids.  The experiment runner
+    resets the counter before every run to keep runs reproducible no matter
+    how many ran earlier in the same process.
+    """
+    global _flow_spec_ids
+    _flow_spec_ids = itertools.count(1)
+
+
 @dataclass
 class FlowSpec:
     """A single flow to be injected into the network simulator.
