@@ -15,7 +15,7 @@ Run it with::
 from repro.core import DynamicThreshold, Occamy
 from repro.netsim.transport.base import TransportConfig
 from repro.sim.rng import SeededRNG
-from repro.sim.units import GBPS, KB
+from repro.sim.units import GBPS
 from repro.topology import SingleSwitchTopology
 from repro.workloads import (
     IncastQueryGenerator,

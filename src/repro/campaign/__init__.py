@@ -30,7 +30,15 @@ from repro.campaign.executor import (
     execute_run,
     print_progress,
 )
-from repro.campaign.spec import GridSpec, RunSpec, SweepSpec, canonical_json
+from repro.campaign.spec import (
+    GridSpec,
+    RunSpec,
+    ScenarioGridSpec,
+    SweepSpec,
+    canonical_json,
+    grid_from_dict,
+    set_by_path,
+)
 from repro.campaign.store import ResultStore, StoreEntry
 
 __all__ = [
@@ -40,11 +48,14 @@ __all__ = [
     "ResultStore",
     "RunOutcome",
     "RunSpec",
+    "ScenarioGridSpec",
     "StoreEntry",
     "SweepSpec",
     "campaign_report",
     "canonical_json",
     "execute_run",
+    "grid_from_dict",
+    "set_by_path",
     "load_rows",
     "numeric_columns",
     "print_progress",

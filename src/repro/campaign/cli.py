@@ -6,6 +6,7 @@ Usage::
     python -m repro.campaign run sweep.json --jobs 4 --store results/ --resume
     python -m repro.campaign status --store results/
     python -m repro.campaign report --store results/ --metric avg_qct_ms --baseline dt
+    python -m repro.campaign report --store results/ --format csv
     python -m repro.campaign clean --store results/ --failed-only
 
 ``run`` expands the JSON sweep spec into its run grid, executes it on a
@@ -18,6 +19,7 @@ stored successfully are served from the store instead of re-simulated.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -94,9 +96,20 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"store {store.root}: no completed runs with a "
               f"{args.group_by!r} column to report on")
         return 1
-    for table in report.tables:
-        print(table)
-        print()
+    if args.format == "json":
+        print(json.dumps([table.to_dict() for table in report.tables],
+                         indent=2, sort_keys=True))
+    elif args.format == "csv":
+        for table in report.tables:
+            # One CSV block per table, prefixed with a comment naming it so
+            # multi-table output still splits cleanly.
+            print(f"# {table.experiment}")
+            print(table.to_csv(), end="")
+            print()
+    else:
+        for table in report.tables:
+            print(table)
+            print()
     return 0
 
 
@@ -143,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="baseline scheme for deltas (default: first seen)")
     p_report.add_argument("--group-by", default="scheme",
                           help="grouping column (default: scheme)")
+    p_report.add_argument("--format", default="table",
+                          choices=["table", "csv", "json"],
+                          help="output format for downstream plotting "
+                               "(default: table)")
     _store_arg(p_report)
     p_report.set_defaults(func=cmd_report)
 

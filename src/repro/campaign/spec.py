@@ -28,6 +28,30 @@ function to the list of values to sweep; the grid is the cartesian product
 over every axis (the example expands to 2 seeds x 2 schemes x 2 loads = 8
 runs).
 
+A second grid type, ``"scenario"``, sweeps *declarative scenarios*
+(:mod:`repro.scenario`) instead of figure harnesses: a base
+:class:`~repro.scenario.spec.ScenarioSpec` document plus dotted-path axes
+that can vary **any** scenario dimension -- scheme kwargs, topology shape,
+workload mix, buffer size -- with no Python changes::
+
+    {
+      "name": "alpha-sweep",
+      "grids": [
+        {
+          "type": "scenario",
+          "seeds": [0, 1],
+          "scenario": { ... a ScenarioSpec document ... },
+          "axes": {
+            "scheme.kwargs.alpha": [1.0, 2.0, 4.0, 8.0],
+            "topology.params.num_spines": [2, 4]
+          }
+        }
+      ]
+    }
+
+Axis paths address nested dict keys with ``.`` and list elements with
+``[i]`` (e.g. ``workloads[0].params.load``).
+
 Every :class:`RunSpec` has a stable :meth:`~RunSpec.config_hash` derived
 from the canonical JSON encoding of its fields, so the same configuration
 hashes identically across processes and sessions -- this is the key of the
@@ -36,12 +60,14 @@ on-disk result store and what makes ``--resume`` work.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import itertools
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Sequence
+from typing import Dict, Iterator, List, Mapping, Sequence, Union
 
 
 def canonical_json(data: object) -> str:
@@ -95,7 +121,11 @@ class RunSpec:
         """Compact human-readable identity for progress lines."""
         parts = [self.experiment, f"scale={self.scale}", f"seed={self.seed}"]
         for key in sorted(self.params):
-            parts.append(f"{key}={self.params[key]}")
+            value = self.params[key]
+            if isinstance(value, dict):
+                # Scenario documents are large; show their name, not the dict.
+                value = value.get("name", f"<{len(value)} keys>")
+            parts.append(f"{key}={value}")
         return " ".join(parts)
 
 
@@ -125,6 +155,7 @@ class GridSpec:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "type": "grid",
             "experiments": list(self.experiments),
             "scales": list(self.scales),
             "seeds": list(self.seeds),
@@ -147,12 +178,135 @@ class GridSpec:
         )
 
 
+_PATH_SEGMENT = re.compile(r"^(?P<key>[^\[\]]+)?(?P<indices>(\[\d+\])*)$")
+
+
+def _parse_path(path: str) -> List[Union[str, int]]:
+    """``"workloads[0].params.load"`` -> ``["workloads", 0, "params", "load"]``."""
+    segments: List[Union[str, int]] = []
+    for part in path.split("."):
+        match = _PATH_SEGMENT.match(part)
+        if match is None or (match.group("key") is None and not match.group("indices")):
+            raise ValueError(f"malformed axis path {path!r}")
+        if match.group("key"):
+            segments.append(match.group("key"))
+        for index in re.findall(r"\[(\d+)\]", match.group("indices")):
+            segments.append(int(index))
+    if not segments:
+        raise ValueError("axis path must be non-empty")
+    return segments
+
+
+def set_by_path(data: Dict[str, object], path: str, value: object) -> None:
+    """Set a nested value addressed by a dotted ``[i]``-indexed path.
+
+    Intermediate dicts are created on demand; list indices must already
+    exist (a sweep cannot invent workload slots).
+    """
+    segments = _parse_path(path)
+    target = data
+    for here, ahead in zip(segments[:-1], segments[1:]):
+        if isinstance(here, int):
+            if not isinstance(target, list) or here >= len(target):
+                raise ValueError(f"axis path {path!r}: index [{here}] out of range")
+            target = target[here]
+        else:
+            if not isinstance(target, dict):
+                raise ValueError(f"axis path {path!r}: {here!r} is not a mapping")
+            if here not in target:
+                target[here] = [] if isinstance(ahead, int) else {}
+            target = target[here]
+    last = segments[-1]
+    if isinstance(last, int):
+        if not isinstance(target, list) or last >= len(target):
+            raise ValueError(f"axis path {path!r}: index [{last}] out of range")
+        target[last] = value
+    else:
+        if not isinstance(target, dict):
+            raise ValueError(f"axis path {path!r}: {last!r} is not a mapping")
+        target[last] = value
+
+
+@dataclass
+class ScenarioGridSpec:
+    """A sweep over declarative scenarios: base document x axes x seeds.
+
+    ``scenario`` is a :class:`~repro.scenario.spec.ScenarioSpec` dict; each
+    ``axes`` entry maps a dotted path inside that document to the values to
+    sweep.  Every combination expands to a ``RunSpec`` of the pseudo
+    experiment ``"scenario"``.  An explicit ``seeds`` list overrides the
+    document's embedded seed; when omitted, the document's own seed (default
+    0) is the single seed, so both entry points agree on what one document
+    means.
+    """
+
+    scenario: Dict[str, object]
+    axes: Dict[str, List[object]] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [0])
+
+    @classmethod
+    def default_seeds(cls, scenario: Mapping[str, object]) -> List[int]:
+        return [int(scenario.get("seed", 0))]
+
+    def expand(self) -> Iterator[RunSpec]:
+        axis_paths = sorted(self.axes)
+        value_lists = [self.axes[path] for path in axis_paths]
+        for seed in self.seeds:
+            for combo in itertools.product(*value_lists):
+                document = copy.deepcopy(self.scenario)
+                for path, value in zip(axis_paths, combo):
+                    set_by_path(document, path, value)
+                yield RunSpec(
+                    experiment="scenario",
+                    scale="-",
+                    seed=seed,
+                    params={"scenario": document},
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "scenario",
+            "scenario": copy.deepcopy(self.scenario),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioGridSpec":
+        scenario = data.get("scenario")
+        if not isinstance(scenario, Mapping):
+            raise ValueError("scenario grid needs a 'scenario' document (object)")
+        seeds = data.get("seeds")
+        return cls(
+            scenario=copy.deepcopy(dict(scenario)),
+            axes={
+                str(k): list(_require_list(v, f"axes[{k!r}]"))
+                for k, v in data.get("axes", {}).items()
+            },
+            seeds=(cls.default_seeds(scenario) if seeds is None
+                   else [int(s) for s in _require_list(seeds, "seeds")]),
+        )
+
+
+AnyGridSpec = Union[GridSpec, ScenarioGridSpec]
+
+
+def grid_from_dict(data: Mapping[str, object]) -> AnyGridSpec:
+    """Dispatch on the optional ``"type"`` field (default ``"grid"``)."""
+    grid_type = str(data.get("type", "grid"))
+    if grid_type == "grid":
+        return GridSpec.from_dict(data)
+    if grid_type == "scenario":
+        return ScenarioGridSpec.from_dict(data)
+    raise ValueError(f"unknown grid type {grid_type!r} (expected 'grid' or 'scenario')")
+
+
 @dataclass
 class SweepSpec:
     """A named campaign: a list of grids expanded into concrete runs."""
 
     name: str
-    grids: List[GridSpec] = field(default_factory=list)
+    grids: List[AnyGridSpec] = field(default_factory=list)
 
     def expand(self) -> List[RunSpec]:
         """All runs of the campaign, deduplicated by config hash."""
@@ -169,7 +323,7 @@ class SweepSpec:
     def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
         return cls(
             name=str(data.get("name", "campaign")),
-            grids=[GridSpec.from_dict(g) for g in data.get("grids", [])],
+            grids=[grid_from_dict(g) for g in data.get("grids", [])],
         )
 
     @classmethod

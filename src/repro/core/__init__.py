@@ -23,7 +23,13 @@ from repro.core.abm import ABM
 from repro.core.pushout import Pushout
 from repro.core.occamy import Occamy
 from repro.core.expulsion import ExpulsionEngine, HeadDropSelector, TokenBucket
-from repro.core.registry import available_schemes, make_buffer_manager, register_scheme
+from repro.core.registry import (
+    available_schemes,
+    make_buffer_manager,
+    register_scheme,
+    scheme_defaults,
+    unregister_scheme,
+)
 
 __all__ = [
     "ABM",
@@ -43,4 +49,6 @@ __all__ = [
     "available_schemes",
     "make_buffer_manager",
     "register_scheme",
+    "scheme_defaults",
+    "unregister_scheme",
 ]

@@ -20,7 +20,6 @@ proactive component makes that rare.
 from __future__ import annotations
 
 from repro.core.dt import DynamicThreshold
-from repro.core.base import QueueView
 
 
 class Occamy(DynamicThreshold):

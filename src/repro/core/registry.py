@@ -1,13 +1,23 @@
-"""A small registry mapping scheme names to buffer-manager factories.
+"""A registry mapping scheme names to buffer-manager factories.
 
-Experiments and the CLI refer to schemes by name (``"dt"``, ``"occamy"``,
-``"abm"``, ``"pushout"``, ...); the registry turns those names plus keyword
-arguments into configured :class:`~repro.core.base.BufferManager` instances.
+Experiments, scenarios and the CLI refer to schemes by name (``"dt"``,
+``"occamy"``, ``"abm"``, ``"pushout"``, ...); the registry turns those names
+plus keyword arguments into configured
+:class:`~repro.core.base.BufferManager` instances.
+
+Every registration may carry *default keyword arguments* -- the paper's
+parameter choices live here (DT alpha=1, ABM alpha=2, Occamy alpha=8), so
+``make_buffer_manager("occamy")`` is the single source of truth for a
+paper-configured scheme.  Call-site kwargs override the registered defaults.
+
+Registering a name twice is an error unless ``override=True`` is passed:
+silent overwrites used to let a plugin shadow a built-in scheme without
+anyone noticing.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.core.abm import ABM
 from repro.core.base import BufferManager
@@ -17,13 +27,41 @@ from repro.core.pushout import Pushout
 from repro.core.static import CompletePartitioning, CompleteSharing, StaticThreshold
 
 _FACTORIES: Dict[str, Callable[..., BufferManager]] = {}
+_DEFAULTS: Dict[str, Dict[str, object]] = {}
 
 
-def register_scheme(name: str, factory: Callable[..., BufferManager]) -> None:
-    """Register a new scheme factory under ``name`` (overwrites existing)."""
+def register_scheme(
+    name: str,
+    factory: Callable[..., BufferManager],
+    defaults: Optional[Mapping[str, object]] = None,
+    override: bool = False,
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    Args:
+        name: scheme name (non-empty).
+        factory: callable (usually the scheme class) accepting the scheme's
+            keyword arguments.
+        defaults: default keyword arguments applied by
+            :func:`make_buffer_manager`; call-site kwargs take precedence.
+        override: allow replacing an existing registration.  Without it a
+            name collision raises :class:`ValueError`.
+    """
     if not name:
         raise ValueError("scheme name must be non-empty")
+    if name in _FACTORIES and not override:
+        raise ValueError(
+            f"scheme {name!r} is already registered; "
+            "pass override=True to replace it"
+        )
     _FACTORIES[name] = factory
+    _DEFAULTS[name] = dict(defaults or {})
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a registration (mainly for tests and plugin teardown)."""
+    _FACTORIES.pop(name, None)
+    _DEFAULTS.pop(name, None)
 
 
 def available_schemes() -> List[str]:
@@ -31,8 +69,21 @@ def available_schemes() -> List[str]:
     return sorted(_FACTORIES)
 
 
+def scheme_defaults(name: str) -> Dict[str, object]:
+    """The registered default kwargs of scheme ``name`` (a copy)."""
+    if name not in _DEFAULTS:
+        raise KeyError(
+            f"unknown buffer management scheme {name!r}; "
+            f"available: {', '.join(available_schemes())}"
+        )
+    return dict(_DEFAULTS[name])
+
+
 def make_buffer_manager(name: str, **kwargs) -> BufferManager:
-    """Instantiate the scheme registered under ``name`` with ``kwargs``.
+    """Instantiate the scheme registered under ``name``.
+
+    The registered default kwargs are applied first; explicit ``kwargs``
+    override them.
 
     Raises:
         KeyError: if no scheme with that name is registered.
@@ -44,17 +95,18 @@ def make_buffer_manager(name: str, **kwargs) -> BufferManager:
             f"unknown buffer management scheme {name!r}; "
             f"available: {', '.join(available_schemes())}"
         ) from None
-    return factory(**kwargs)
+    merged = {**_DEFAULTS[name], **kwargs}
+    return factory(**merged)
 
 
 # ----------------------------------------------------------------------
-# Built-in schemes
+# Built-in schemes (defaults are the paper's parameter choices, Section 6.2)
 # ----------------------------------------------------------------------
-register_scheme("dt", DynamicThreshold)
-register_scheme("abm", ABM)
+register_scheme("dt", DynamicThreshold, defaults={"alpha": 1.0})
+register_scheme("abm", ABM, defaults={"alpha": 2.0})
 register_scheme("pushout", Pushout)
-register_scheme("occamy", Occamy)
-register_scheme("occamy_longest", OccamyLongestDrop)
+register_scheme("occamy", Occamy, defaults={"alpha": 8.0})
+register_scheme("occamy_longest", OccamyLongestDrop, defaults={"alpha": 8.0})
 register_scheme("complete_sharing", CompleteSharing)
 register_scheme("complete_partitioning", CompletePartitioning)
 register_scheme("static_threshold", StaticThreshold)

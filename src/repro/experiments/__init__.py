@@ -17,14 +17,12 @@ Scales:
 
 from repro.experiments.common import (
     ExperimentResult,
-    SCHEME_FACTORIES,
     ScenarioConfig,
     default_schemes,
 )
 
 __all__ = [
     "ExperimentResult",
-    "SCHEME_FACTORIES",
     "ScenarioConfig",
     "default_schemes",
 ]

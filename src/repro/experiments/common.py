@@ -1,51 +1,52 @@
 """Shared infrastructure for the experiment harnesses.
 
 The paper's evaluation compares four buffer-management schemes (DT, ABM,
-Pushout, Occamy) across single-switch testbeds and a leaf-spine fabric.  This
-module centralizes:
+Pushout, Occamy) across single-switch testbeds and a leaf-spine fabric.
+Since the :mod:`repro.scenario` layer landed, this module is mostly glue:
 
-* the scheme factories with the paper's parameter choices;
-* scaled scenario configurations (``bench`` / ``small`` / ``paper``);
-* the two workhorse scenario runners -- a single-switch incast+background
-  scenario (the DPDK testbed of Section 6.2) and a leaf-spine scenario (the
-  ns-3 simulations of Section 6.4);
-* the :class:`ExperimentResult` container used to print/compare rows.
+* :class:`ExperimentResult` -- the rows-of-dicts container every experiment
+  returns (with table/CSV/JSON rendering);
+* re-exports of :class:`~repro.scenario.scales.ScenarioConfig` /
+  :func:`~repro.scenario.scales.get_scale` (their historical home);
+* the two legacy workhorse runners :func:`run_single_switch` and
+  :func:`run_leaf_spine`, kept as deprecated thin wrappers over
+  :func:`repro.scenario.builders.single_switch_scenario` /
+  :func:`~repro.scenario.builders.leaf_spine_scenario` plus
+  :class:`~repro.scenario.runner.ScenarioRunner`.
+
+New code should build :class:`~repro.scenario.spec.ScenarioSpec`s directly
+instead of calling the wrappers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import csv
+import io
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core import ABM, BufferManager, DynamicThreshold, Occamy, Pushout
-from repro.core.occamy import OccamyLongestDrop
+from repro.core.base import BufferManager
+from repro.core.registry import available_schemes, make_buffer_manager
 from repro.metrics.flows import FlowStats
-from repro.netsim.transport.base import TransportConfig
-from repro.sim.rng import SeededRNG
-from repro.sim.units import GBPS, KB, MB
+from repro.scenario.builders import leaf_spine_scenario, single_switch_scenario
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.scales import ScenarioConfig, get_scale
+from repro.sim.units import KB
 from repro.topology.leaf_spine import LeafSpineTopology
 from repro.topology.single_switch import SingleSwitchTopology
-from repro.workloads import (
-    IncastQueryGenerator,
-    PoissonFlowGenerator,
-    WEB_SEARCH_DISTRIBUTION,
-    all_reduce_flows,
-    all_to_all_flows,
-    flows_per_second_for_load,
-)
 from repro.workloads.spec import FlowSpec
 
-
-# ----------------------------------------------------------------------
-# Scheme factories (paper parameter choices, Section 6.2)
-# ----------------------------------------------------------------------
-SCHEME_FACTORIES: Dict[str, Callable[[], BufferManager]] = {
-    "dt": lambda: DynamicThreshold(alpha=1.0),
-    "abm": lambda: ABM(alpha=2.0),
-    "occamy": lambda: Occamy(alpha=8.0),
-    "occamy_longest": lambda: OccamyLongestDrop(alpha=8.0),
-    "pushout": lambda: Pushout(),
-}
+__all__ = [
+    "ExperimentResult",
+    "LeafSpineRun",
+    "ScenarioConfig",
+    "SingleSwitchRun",
+    "default_schemes",
+    "get_scale",
+    "run_leaf_spine",
+    "run_single_switch",
+    "scheme_factory",
+]
 
 
 def default_schemes() -> List[str]:
@@ -54,111 +55,15 @@ def default_schemes() -> List[str]:
 
 
 def scheme_factory(name: str, **overrides) -> Callable[[], BufferManager]:
-    """A factory for scheme ``name``; ``overrides`` replace constructor args."""
-    if name not in SCHEME_FACTORIES:
-        raise KeyError(f"unknown scheme {name!r}")
-    if not overrides:
-        return SCHEME_FACTORIES[name]
-    base = {
-        "dt": DynamicThreshold,
-        "abm": ABM,
-        "occamy": Occamy,
-        "occamy_longest": OccamyLongestDrop,
-        "pushout": Pushout,
-    }[name]
-    return lambda: base(**overrides)
+    """Deprecated: a zero-arg factory for scheme ``name``.
 
-
-# ----------------------------------------------------------------------
-# Scenario configuration / scaling
-# ----------------------------------------------------------------------
-@dataclass
-class ScenarioConfig:
-    """Dimensions of a scenario, scaled for pure-Python runtimes.
-
-    The ``paper`` scale mirrors the published setup; ``small`` and ``bench``
-    shrink host counts, durations and query counts while keeping the ratios
-    (buffer per port, query size relative to buffer, loads) that the results
-    depend on.
+    The paper's default parameters now live in the scheme registry
+    (:mod:`repro.core.registry`); call
+    :func:`~repro.core.registry.make_buffer_manager` directly instead.
     """
-
-    name: str = "small"
-    # Single-switch (DPDK-testbed-like) dimensions.
-    num_hosts: int = 8
-    link_rate_bps: float = 10 * GBPS
-    buffer_kb_per_port_per_gbps: float = 5.12
-    ecn_threshold_packets: int = 65
-    duration: float = 0.02
-    queries: int = 12
-    incast_fanout: int = 14
-    # Leaf-spine dimensions.
-    num_leaves: int = 4
-    num_spines: int = 4
-    hosts_per_leaf: int = 4
-    fabric_link_rate_bps: float = 10 * GBPS
-    fabric_buffer_bytes_per_port: int = 256 * KB
-    fabric_ecn_threshold_bytes: int = 90 * KB
-    fabric_duration: float = 0.02
-    fabric_queries: int = 8
-    fabric_incast_fanout: int = 8
-    # Transport.
-    min_rto: float = 2e-3
-    run_slack: float = 10.0  # run the sim this many x the workload duration
-
-    def mtu_ecn_threshold_bytes(self, mtu: int = 1500) -> int:
-        return self.ecn_threshold_packets * mtu
-
-
-_SCALES: Dict[str, ScenarioConfig] = {
-    "bench": ScenarioConfig(
-        name="bench",
-        num_hosts=8,
-        duration=0.006,
-        queries=4,
-        incast_fanout=8,
-        num_leaves=2,
-        num_spines=2,
-        hosts_per_leaf=3,
-        fabric_duration=0.006,
-        fabric_queries=3,
-        fabric_incast_fanout=4,
-        fabric_buffer_bytes_per_port=64 * KB,
-        fabric_ecn_threshold_bytes=30 * KB,
-        min_rto=2e-3,
-    ),
-    "small": ScenarioConfig(
-        name="small",
-        fabric_buffer_bytes_per_port=128 * KB,
-        fabric_ecn_threshold_bytes=45 * KB,
-    ),
-    "paper": ScenarioConfig(
-        name="paper",
-        num_hosts=8,
-        duration=0.2,
-        queries=60,
-        incast_fanout=16,
-        num_leaves=8,
-        num_spines=8,
-        hosts_per_leaf=16,
-        fabric_link_rate_bps=100 * GBPS,
-        fabric_buffer_bytes_per_port=512 * KB,
-        fabric_ecn_threshold_bytes=720 * KB,
-        fabric_duration=0.05,
-        fabric_queries=40,
-        fabric_incast_fanout=16,
-        min_rto=5e-3,
-    ),
-}
-
-
-def get_scale(scale: str) -> ScenarioConfig:
-    """Look up a named scale (``bench``, ``small`` or ``paper``)."""
-    try:
-        return replace(_SCALES[scale])
-    except KeyError:
-        raise KeyError(
-            f"unknown scale {scale!r}; available: {', '.join(sorted(_SCALES))}"
-        ) from None
+    if name not in available_schemes():
+        raise KeyError(f"unknown scheme {name!r}")
+    return lambda: make_buffer_manager(name, **overrides)
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +121,21 @@ class ExperimentResult:
             notes=str(data.get("notes", "")),
         )
 
+    def to_csv(self) -> str:
+        """The rows as RFC-4180 CSV text (header + one line per row).
+
+        Missing cells render empty; values are written with ``str()`` so the
+        output feeds straight into pandas / gnuplot / spreadsheet tooling.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        cols = self.columns()
+        writer.writerow(cols)
+        for row in self.rows:
+            writer.writerow(["" if row.get(c) is None else row.get(c)
+                             for c in cols])
+        return buffer.getvalue()
+
     def format_table(self, float_digits: int = 4) -> str:
         """Render the rows as an aligned text table."""
         cols = self.columns()
@@ -246,7 +166,7 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# Scenario runners
+# Deprecated workhorse runners (thin wrappers over the scenario layer)
 # ----------------------------------------------------------------------
 @dataclass
 class SingleSwitchRun:
@@ -277,89 +197,32 @@ def run_single_switch(
     extra_flows: Optional[Sequence[FlowSpec]] = None,
     include_background: bool = True,
 ) -> SingleSwitchRun:
-    """Run the DPDK-testbed-style scenario: incast queries + web-search background.
+    """Deprecated: run the DPDK-testbed-style scenario.
 
-    Args:
-        scheme: buffer-management scheme name (see :data:`SCHEME_FACTORIES`).
-        config: scenario scale.
-        query_size_bytes: total response bytes per query (the paper sweeps
-            this as a percentage of the buffer size).
-        background_load: offered load of the 1-to-1 background traffic.
-        queues_per_port / scheduler: switch queueing structure (e.g. 2 DRR
-            queues for the isolation experiment, strict priority for the
-            buffer-choking experiment).
-        query_priority / background_priority: traffic classes of the two
-            traffic types.
-        alpha_overrides: per-class-index alpha overrides applied to every
-            port's queues (e.g. ``{0: 8.0, 1: 1.0}``).
-        scheme_overrides: keyword overrides for the scheme constructor.
-        extra_flows: additional flows to inject unchanged.
-        include_background: disable the background traffic entirely (used by
-            the "without background" baselines).
+    Thin wrapper over
+    :func:`~repro.scenario.builders.single_switch_scenario`; build the
+    :class:`~repro.scenario.spec.ScenarioSpec` yourself for new code.
     """
-    factory = scheme_factory(scheme, **(scheme_overrides or {}))
-    topo = SingleSwitchTopology(
-        num_hosts=config.num_hosts,
-        manager_factory=factory,
-        link_rate_bps=config.link_rate_bps,
-        buffer_kb_per_port_per_gbps=config.buffer_kb_per_port_per_gbps,
+    spec = single_switch_scenario(
+        scheme=scheme,
+        config=config,
+        query_size_bytes=query_size_bytes,
+        seed=seed,
+        background_load=background_load,
+        background_transport=background_transport,
+        query_transport=query_transport,
         queues_per_port=queues_per_port,
         scheduler=scheduler,
-        ecn_threshold_bytes=config.mtu_ecn_threshold_bytes(),
+        query_priority=query_priority,
+        background_priority=background_priority,
+        alpha_overrides=alpha_overrides,
+        scheme_kwargs=scheme_overrides,
+        extra_flows=extra_flows,
+        include_background=include_background,
     )
-    if alpha_overrides:
-        for queue in topo.switch.queue_views():
-            if queue.class_index in alpha_overrides:
-                queue.alpha_override = alpha_overrides[queue.class_index]
-
-    rng = SeededRNG(seed)
-    hosts = topo.hosts
-    client = hosts[0]
-    servers = hosts[1:]
-
-    queries_per_second = max(1.0, config.queries / config.duration)
-    query_gen = IncastQueryGenerator(
-        clients=[client],
-        servers=servers,
-        query_size_bytes=query_size_bytes,
-        fanout=min(config.incast_fanout, max(1, 2 * len(servers))),
-        queries_per_second=queries_per_second,
-        rng=rng.child("query"),
-        priority=query_priority,
-    )
-    flows: List[FlowSpec] = query_gen.generate(config.duration, start_time=0.0)
-
-    if include_background and background_load > 0:
-        bg_rate = flows_per_second_for_load(
-            background_load,
-            config.link_rate_bps,
-            WEB_SEARCH_DISTRIBUTION.mean(),
-            num_senders=len(hosts),
-        )
-        bg_gen = PoissonFlowGenerator(
-            hosts,
-            WEB_SEARCH_DISTRIBUTION,
-            flows_per_second=bg_rate * len(hosts),
-            rng=rng.child("bg"),
-            priority=background_priority,
-        )
-        # A single aggregate Poisson process over all hosts (equivalent to
-        # independent per-host processes with 1/N the rate each).
-        bg_gen.flows_per_second = bg_rate * len(hosts)
-        flows.extend(bg_gen.generate(config.duration, start_time=0.0))
-
-    if extra_flows:
-        flows.extend(extra_flows)
-
-    transport_config = TransportConfig(min_rto=config.min_rto)
-    network = topo.network
-    network.set_transport_config(transport_config)
-    query_flows = [f for f in flows if f.query_id is not None]
-    bg_flows = [f for f in flows if f.query_id is None]
-    network.inject_flows(query_flows, transport=query_transport)
-    network.inject_flows(bg_flows, transport=background_transport)
-    network.run(until=config.duration * config.run_slack)
-    return SingleSwitchRun(topology=topo, flow_stats=network.flow_stats)
+    result = ScenarioRunner().run(spec)
+    return SingleSwitchRun(topology=result.topology,
+                           flow_stats=result.flow_stats)
 
 
 @dataclass
@@ -385,72 +248,24 @@ def run_leaf_spine(
     scheme_overrides: Optional[Dict[str, object]] = None,
     buffer_bytes_per_port: Optional[int] = None,
 ) -> LeafSpineRun:
-    """Run the ns-3-style leaf-spine scenario (Section 6.4).
+    """Deprecated: run the ns-3-style leaf-spine scenario (Section 6.4).
 
-    ``background_kind`` selects the background workload: ``websearch``
-    (Poisson web-search flows at ``background_load``), ``all_to_all`` or
-    ``all_reduce`` (one collective round of ``background_flow_size`` flows).
+    Thin wrapper over
+    :func:`~repro.scenario.builders.leaf_spine_scenario`; build the
+    :class:`~repro.scenario.spec.ScenarioSpec` yourself for new code.
     """
-    factory = scheme_factory(scheme, **(scheme_overrides or {}))
-    topo = LeafSpineTopology(
-        manager_factory=factory,
-        num_leaves=config.num_leaves,
-        num_spines=config.num_spines,
-        hosts_per_leaf=config.hosts_per_leaf,
-        link_rate_bps=config.fabric_link_rate_bps,
-        buffer_bytes_per_port=(
-            buffer_bytes_per_port
-            if buffer_bytes_per_port is not None
-            else config.fabric_buffer_bytes_per_port
-        ),
-        ecn_threshold_bytes=config.fabric_ecn_threshold_bytes,
-    )
-    rng = SeededRNG(seed)
-    hosts = topo.hosts
-
-    num_queries = query_load_queries if query_load_queries is not None else config.fabric_queries
-    fanout = min(config.fabric_incast_fanout, len(hosts) - 1)
-    query_gen = IncastQueryGenerator(
-        clients=[hosts[0]],
-        servers=hosts[1:],
+    spec = leaf_spine_scenario(
+        scheme=scheme,
+        config=config,
         query_size_bytes=query_size_bytes,
-        fanout=fanout,
-        queries_per_second=max(1.0, num_queries / config.fabric_duration),
-        rng=rng.child("query"),
+        seed=seed,
+        background_load=background_load,
+        background_kind=background_kind,
+        background_flow_size=background_flow_size,
+        query_load_queries=query_load_queries,
+        scheme_kwargs=scheme_overrides,
+        buffer_bytes_per_port=buffer_bytes_per_port,
     )
-    # Issue exactly ``num_queries`` queries, evenly spaced across the run, so
-    # that every scheme sees the same (deterministic) query workload even at
-    # the smallest scales.
-    flows: List[FlowSpec] = []
-    spacing = config.fabric_duration / max(1, num_queries)
-    for i in range(num_queries):
-        flows.extend(query_gen.make_query(hosts[0], start_time=i * spacing))
-
-    if background_kind == "websearch":
-        if background_load > 0:
-            bg_rate = flows_per_second_for_load(
-                background_load,
-                config.fabric_link_rate_bps,
-                WEB_SEARCH_DISTRIBUTION.mean(),
-                num_senders=1,
-            ) * len(hosts)
-            bg_gen = PoissonFlowGenerator(
-                hosts,
-                WEB_SEARCH_DISTRIBUTION,
-                flows_per_second=bg_rate,
-                rng=rng.child("bg"),
-            )
-            flows.extend(bg_gen.generate(config.fabric_duration, start_time=0.0))
-    elif background_kind == "all_to_all":
-        flows.extend(all_to_all_flows(hosts, background_flow_size, start_time=0.0))
-    elif background_kind == "all_reduce":
-        flows.extend(all_reduce_flows(hosts, background_flow_size, start_time=0.0))
-    else:
-        raise ValueError(f"unknown background kind {background_kind!r}")
-
-    transport_config = TransportConfig(min_rto=config.min_rto)
-    network = topo.network
-    network.set_transport_config(transport_config)
-    network.inject_flows(flows, transport="dctcp")
-    network.run(until=config.fabric_duration * config.run_slack)
-    return LeafSpineRun(topology=topo, flow_stats=network.flow_stats)
+    result = ScenarioRunner().run(spec)
+    return LeafSpineRun(topology=result.topology,
+                        flow_stats=result.flow_stats)

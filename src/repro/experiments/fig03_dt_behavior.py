@@ -17,16 +17,13 @@ many burst bytes were dropped before queue 2 reached the threshold.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.core import DynamicThreshold
 from repro.experiments.common import ExperimentResult
 from repro.metrics.timeseries import trace_to_series
-from repro.sim.engine import Simulator
+from repro.scenario import packet_burst_scenario, run_scenario
 from repro.sim.units import GBPS, MB
-from repro.switchsim.packet import Packet
-from repro.switchsim.switch import SharedMemorySwitch, SwitchConfig
-from repro.workloads.burst import constant_rate_arrivals
+from repro.switchsim.switch import SharedMemorySwitch
 
 
 def _drive_two_queue_scenario(
@@ -38,28 +35,24 @@ def _drive_two_queue_scenario(
     burst_duration: float = 400e-6,
 ) -> SharedMemorySwitch:
     """Congest queue 1, then hit queue 2 with a burst at ``burst_rate_bps``."""
-    sim = Simulator()
-    config = SwitchConfig(
-        num_ports=2,
-        queues_per_port=1,
+    total = warmup + burst_duration
+    spec = packet_burst_scenario(
+        scheme="dt",
+        scheme_kwargs={"alpha": alpha},
+        stream_specs=[
+            # Long-lived traffic keeps queue 1 at its threshold: arrivals at
+            # 4x the port rate for the whole experiment.
+            {"rate_bps": 4 * port_rate_bps, "port": 0, "duration": total},
+            # The burst hits queue 2 after the warm-up.
+            {"rate_bps": burst_rate_bps, "port": 1, "duration": burst_duration,
+             "start_time": warmup},
+        ],
         port_rate_bps=port_rate_bps,
         buffer_bytes=buffer_bytes,
-        trace_queues=True,
-        name="fig03",
+        duration=total,
+        name="fig03_dt_behavior",
     )
-    switch = SharedMemorySwitch(config, DynamicThreshold(alpha=alpha), sim)
-
-    # Long-lived traffic keeps queue 1 at its threshold: arrivals at 4x the
-    # port rate for the whole experiment.
-    total = warmup + burst_duration
-    for t, size in constant_rate_arrivals(4 * port_rate_bps, total):
-        sim.at(t, lambda s=size: switch.receive(Packet(size_bytes=s), 0))
-    # The burst hits queue 2 after the warm-up.
-    for t, size in constant_rate_arrivals(burst_rate_bps, burst_duration,
-                                          start_time=warmup):
-        sim.at(t, lambda s=size: switch.receive(Packet(size_bytes=s), 1))
-    sim.run(until=total)
-    return switch
+    return run_scenario(spec).switch
 
 
 def run(scale: str = "small", seed: int = 0,

@@ -14,38 +14,28 @@ Two sub-experiments, both DT-only (they motivate the need for Occamy):
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.experiments.common import (
     ExperimentResult,
     ScenarioConfig,
     get_scale,
-    run_single_switch,
 )
-from repro.metrics.percentiles import mean
-from repro.sim.rng import SeededRNG
-from repro.workloads import PoissonFlowGenerator, WEB_SEARCH_DISTRIBUTION
-from repro.workloads.spec import FlowSpec
+from repro.scenario import run_scenario, single_switch_scenario
 
 
 def _long_lived_background(config: ScenarioConfig, hosts: List[int], client: int,
-                           priority: int, seed: int) -> List[FlowSpec]:
+                           priority: int) -> List[Dict[str, object]]:
     """Long-lived low-priority flows from two hosts towards the query client."""
     senders = [h for h in hosts if h != client][:2]
-    flows: List[FlowSpec] = []
+    flows: List[Dict[str, object]] = []
     size = int(config.link_rate_bps / 8 * config.duration)  # enough to last the run
-    for idx, sender in enumerate(senders):
-        for k in range(7):
-            flows.append(
-                FlowSpec(src=sender, dst=client, size_bytes=max(size, 100_000),
-                         start_time=0.0, priority=priority)
-            )
+    for sender in senders:
+        for _ in range(7):
+            flows.append(dict(src=sender, dst=client,
+                              size_bytes=max(size, 100_000),
+                              start_time=0.0, priority=priority))
     return flows
-
-
-def _avg_qct(scheme_kwargs: dict) -> float:
-    run_result = run_single_switch(**scheme_kwargs)
-    return run_result.flow_stats.average_qct()
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -68,18 +58,20 @@ def run(scale: str = "small", seed: int = 0,
         # ---- (a) buffer choking: queries and background share a port -------
         hosts = list(range(config.num_hosts))
         client = hosts[0]
-        lp_flows = _long_lived_background(config, hosts, client, priority=1, seed=seed)
-        with_lp = run_single_switch(
+        lp_flows = _long_lived_background(config, hosts, client, priority=1)
+        with_lp = run_scenario(single_switch_scenario(
             scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
             include_background=False, queues_per_port=2, scheduler="strict",
             query_priority=0, alpha_overrides={0: 8.0, 1: 1.0},
             extra_flows=lp_flows, background_transport="cubic",
-        )
-        without_lp = run_single_switch(
+            name="fig06_buffer_choking",
+        ))
+        without_lp = run_scenario(single_switch_scenario(
             scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
             include_background=False, queues_per_port=2, scheduler="strict",
             query_priority=0, alpha_overrides={0: 1.0, 1: 1.0},
-        )
+            name="fig06_buffer_choking",
+        ))
         result.add_row(
             subfigure="a_buffer_choking",
             query_size_frac=fraction,
@@ -92,14 +84,16 @@ def run(scale: str = "small", seed: int = 0,
         )
 
         # ---- (b) inter-port influence: background on other ports -----------
-        with_bg = run_single_switch(
+        with_bg = run_scenario(single_switch_scenario(
             scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
             background_load=0.6, include_background=True,
-        )
-        without_bg = run_single_switch(
+            name="fig06_inter_port",
+        ))
+        without_bg = run_scenario(single_switch_scenario(
             scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
             include_background=False,
-        )
+            name="fig06_inter_port",
+        ))
         result.add_row(
             subfigure="b_inter_port",
             query_size_frac=fraction,

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.experiments.common import ExperimentResult, get_scale, run_leaf_spine
+from repro.experiments.common import ExperimentResult, get_scale
 from repro.metrics.percentiles import percentile
-from repro.sim.units import KB
+from repro.scenario import leaf_spine_scenario, run_scenario
 
 
 def _collect_utilizations(run_result) -> Dict[str, List[float]]:
@@ -43,10 +43,11 @@ def run(scale: str = "small", seed: int = 0,
 
     # 7(a): buffer utilization for DT alpha in {0.5, 1} at 40% load.
     for alpha in alphas:
-        run_result = run_leaf_spine(
+        run_result = run_scenario(leaf_spine_scenario(
             scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
-            background_load=0.4, scheme_overrides={"alpha": alpha},
-        )
+            background_load=0.4, scheme_kwargs={"alpha": alpha},
+            name="fig07_utilization",
+        ))
         samples = _collect_utilizations(run_result)["buffer"]
         result.add_row(
             subfigure="a_buffer",
@@ -60,10 +61,11 @@ def run(scale: str = "small", seed: int = 0,
 
     # 7(b): memory bandwidth utilization for several loads (DT alpha = 1).
     for load in loads:
-        run_result = run_leaf_spine(
+        run_result = run_scenario(leaf_spine_scenario(
             scheme="dt", config=config, query_size_bytes=query_size, seed=seed,
-            background_load=load, scheme_overrides={"alpha": 1.0},
-        )
+            background_load=load, scheme_kwargs={"alpha": 1.0},
+            name="fig07_utilization",
+        ))
         samples = _collect_utilizations(run_result)["bandwidth"]
         result.add_row(
             subfigure="b_bandwidth",

@@ -17,16 +17,13 @@ traces are also returned for plotting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from repro.core import DynamicThreshold, Occamy
 from repro.experiments.common import ExperimentResult
 from repro.metrics.timeseries import QueueLengthSeries, trace_to_series
-from repro.sim.engine import Simulator
+from repro.scenario import packet_burst_scenario, run_scenario
 from repro.sim.units import GBPS, KB, MB
-from repro.switchsim.packet import Packet
-from repro.switchsim.switch import SharedMemorySwitch, SwitchConfig
-from repro.workloads.burst import burst_arrivals, constant_rate_arrivals
+from repro.switchsim.switch import SharedMemorySwitch
 
 
 @dataclass
@@ -57,34 +54,27 @@ def drive_burst_scenario(
     than the two 10 Gbps receivers), so its memory bandwidth leaves plenty of
     redundant read bandwidth for Occamy's expulsions.
     """
-    sim = Simulator()
-    config = SwitchConfig(
-        num_ports=2,
-        queues_per_port=1,
-        port_rate_bps=port_rate_bps,
-        buffer_bytes=buffer_bytes,
-        trace_queues=True,
-        memory_bandwidth_bps=2 * chip_ports * port_rate_bps,
-        name="fig11",
-    )
-    if scheme == "occamy":
-        manager = Occamy(alpha=alpha)
-    elif scheme == "dt":
-        manager = DynamicThreshold(alpha=alpha)
-    else:
+    if scheme not in ("occamy", "dt"):
         raise ValueError(f"figure 11 compares occamy and dt, not {scheme!r}")
-    switch = SharedMemorySwitch(config, manager, sim)
-
-    burst_start = warmup
     burst_time = burst_bytes * 8 / sender_rate_bps
     total = warmup + burst_time + tail
-
-    for t, size in constant_rate_arrivals(sender_rate_bps, total):
-        sim.at(t, lambda s=size: switch.receive(Packet(size_bytes=s), 0))
-    for t, size in burst_arrivals(burst_bytes, sender_rate_bps, start_time=burst_start):
-        sim.at(t, lambda s=size: switch.receive(Packet(size_bytes=s), 1))
-    sim.run(until=total)
-    return switch
+    spec = packet_burst_scenario(
+        scheme=scheme,
+        scheme_kwargs={"alpha": alpha},
+        stream_specs=[
+            {"rate_bps": sender_rate_bps, "port": 0, "duration": total},
+        ],
+        burst_specs=[
+            {"burst_bytes": burst_bytes, "rate_bps": sender_rate_bps,
+             "port": 1, "start_time": warmup},
+        ],
+        port_rate_bps=port_rate_bps,
+        buffer_bytes=buffer_bytes,
+        memory_bandwidth_bps=2 * chip_ports * port_rate_bps,
+        duration=total,
+        name="fig11_queue_evolution",
+    )
+    return run_scenario(spec).switch
 
 
 def run(scale: str = "small", seed: int = 0,

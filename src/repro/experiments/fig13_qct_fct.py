@@ -15,8 +15,8 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_single_switch,
 )
+from repro.scenario import run_scenario, single_switch_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -41,10 +41,12 @@ def run(scale: str = "small", seed: int = 0,
     for fraction in query_size_fractions:
         query_size = max(2000, int(fraction * buffer_bytes))
         for scheme in schemes:
-            run_result = run_single_switch(
+            spec = single_switch_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=background_load,
+                name="fig13_qct_fct",
             )
+            run_result = run_scenario(spec)
             stats = run_result.flow_stats
             result.add_row(
                 query_size_frac=round(fraction, 2),

@@ -16,8 +16,8 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_single_switch,
 )
+from repro.scenario import run_scenario, single_switch_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -39,13 +39,15 @@ def run(scale: str = "small", seed: int = 0,
     )
     for load in background_loads:
         for scheme in schemes:
-            run_result = run_single_switch(
+            spec = single_switch_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=load,
                 queues_per_port=2, scheduler="drr",
                 query_priority=0, background_priority=1,
                 background_transport="cubic",
+                name="fig14_isolation",
             )
+            run_result = run_scenario(spec)
             stats = run_result.flow_stats
             result.add_row(
                 background_load=load,

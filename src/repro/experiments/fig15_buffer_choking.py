@@ -10,27 +10,27 @@ The harness reports QCT with and without the background for every scheme.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.experiments.common import (
     ExperimentResult,
     ScenarioConfig,
     default_schemes,
     get_scale,
-    run_single_switch,
 )
-from repro.workloads.spec import FlowSpec
+from repro.scenario import run_scenario, single_switch_scenario
 
 
-def _low_priority_background(config: ScenarioConfig, client: int) -> List[FlowSpec]:
+def _low_priority_background(config: ScenarioConfig,
+                             client: int) -> List[Dict[str, object]]:
     """Long-lived low-priority flows converging on the query client's port."""
     senders = [h for h in range(config.num_hosts) if h != client][:2]
     size = max(200_000, int(config.link_rate_bps / 8 * config.duration))
-    flows = []
+    flows: List[Dict[str, object]] = []
     for sender in senders:
         for _ in range(7):
-            flows.append(FlowSpec(src=sender, dst=client, size_bytes=size,
-                                  start_time=0.0, priority=1))
+            flows.append(dict(src=sender, dst=client, size_bytes=size,
+                              start_time=0.0, priority=1))
     return flows
 
 
@@ -59,11 +59,13 @@ def run(scale: str = "small", seed: int = 0,
                 queues_per_port=2, scheduler="strict",
                 query_priority=0, alpha_overrides={0: 8.0, 1: 1.0},
                 background_transport="cubic",
+                name="fig15_buffer_choking",
             )
-            with_bg = run_single_switch(
-                extra_flows=_low_priority_background(config, client), **common_kwargs
-            )
-            without_bg = run_single_switch(**common_kwargs)
+            with_bg = run_scenario(single_switch_scenario(
+                extra_flows=_low_priority_background(config, client),
+                **common_kwargs,
+            ))
+            without_bg = run_scenario(single_switch_scenario(**common_kwargs))
             qct_with = with_bg.flow_stats.average_qct()
             qct_without = without_bg.flow_stats.average_qct()
             result.add_row(

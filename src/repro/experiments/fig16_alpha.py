@@ -9,13 +9,13 @@ expulsion removes the downside of a large alpha.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 from repro.experiments.common import (
     ExperimentResult,
     get_scale,
-    run_single_switch,
 )
+from repro.scenario import run_scenario, single_switch_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -40,13 +40,15 @@ def run(scale: str = "small", seed: int = 0,
         query_size = max(2000, int(fraction * buffer_bytes))
         for alpha in alphas:
             for scheme in ("dt", "occamy"):
-                run_result = run_single_switch(
+                spec = single_switch_scenario(
                     scheme=scheme, config=config, query_size_bytes=query_size,
                     seed=seed, background_load=background_load,
                     queues_per_port=2, scheduler="drr",
                     query_priority=0, background_priority=1,
-                    scheme_overrides={"alpha": alpha},
+                    scheme_kwargs={"alpha": alpha},
+                    name="fig16_alpha",
                 )
+                run_result = run_scenario(spec)
                 stats = run_result.flow_stats
                 result.add_row(
                     query_size_frac=round(fraction, 2),

@@ -14,9 +14,9 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_leaf_spine,
 )
 from repro.metrics.percentiles import mean, percentile
+from repro.scenario import leaf_spine_scenario, run_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -38,10 +38,11 @@ def run(scale: str = "small", seed: int = 0,
     for fraction in query_size_fractions:
         query_size = max(4000, int(fraction * reference_buffer))
         for scheme in schemes:
-            run_result = run_leaf_spine(
+            run_result = run_scenario(leaf_spine_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=background_load,
-            )
+                name="fig17_websearch",
+            ))
             stats = run_result.flow_stats
             small_bg = stats.fct_slowdowns(query_traffic=False, small_only=True)
             result.add_row(

@@ -14,9 +14,9 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_leaf_spine,
 )
 from repro.metrics.percentiles import mean, percentile
+from repro.scenario import leaf_spine_scenario, run_scenario
 from repro.sim.units import KB
 
 
@@ -37,11 +37,12 @@ def run(scale: str = "small", seed: int = 0,
     )
     for size_kb in flow_sizes_kb:
         for scheme in schemes:
-            run_result = run_leaf_spine(
+            run_result = run_scenario(leaf_spine_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_kind=background_kind,
                 background_flow_size=size_kb * KB,
-            )
+                name=f"fig18_{background_kind}",
+            ))
             stats = run_result.flow_stats
             result.add_row(
                 flow_size_kb=size_kb,

@@ -14,9 +14,9 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_leaf_spine,
 )
 from repro.metrics.percentiles import mean
+from repro.scenario import leaf_spine_scenario, run_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -40,10 +40,11 @@ def run(scale: str = "small", seed: int = 0,
         link_bytes = config.fabric_link_rate_bps / 8 * config.fabric_duration
         num_queries = max(2, int(load * link_bytes / bytes_per_query))
         for scheme in schemes:
-            run_result = run_leaf_spine(
+            run_result = run_scenario(leaf_spine_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=0.1, query_load_queries=num_queries,
-            )
+                name="fig20_query_load",
+            ))
             stats = run_result.flow_stats
             result.add_row(
                 query_load=load,

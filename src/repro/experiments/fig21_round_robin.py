@@ -9,10 +9,11 @@ that they are within ~15% of each other.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
-from repro.experiments.common import ExperimentResult, get_scale, run_leaf_spine
+from repro.experiments.common import ExperimentResult, get_scale
 from repro.metrics.percentiles import mean, percentile
+from repro.scenario import leaf_spine_scenario, run_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -31,10 +32,11 @@ def run(scale: str = "small", seed: int = 0,
     for fraction in query_size_fractions:
         query_size = max(4000, int(fraction * reference_buffer))
         for scheme, label in (("occamy", "round_robin"), ("occamy_longest", "longest")):
-            run_result = run_leaf_spine(
+            run_result = run_scenario(leaf_spine_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=background_load,
-            )
+                name="fig21_round_robin",
+            ))
             stats = run_result.flow_stats
             result.add_row(
                 query_size_frac=round(fraction, 2),

@@ -14,9 +14,9 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_leaf_spine,
 )
 from repro.metrics.percentiles import mean, percentile
+from repro.scenario import leaf_spine_scenario, run_scenario
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -37,10 +37,11 @@ def run(scale: str = "small", seed: int = 0,
     for fraction in query_size_fractions:
         query_size = max(4000, int(fraction * reference_buffer))
         for scheme in schemes:
-            run_result = run_leaf_spine(
+            run_result = run_scenario(leaf_spine_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=background_load,
-            )
+                name="fig22_heavy_load",
+            ))
             stats = run_result.flow_stats
             result.add_row(
                 query_size_frac=round(fraction, 2),

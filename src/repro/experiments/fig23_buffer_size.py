@@ -14,9 +14,9 @@ from repro.experiments.common import (
     ExperimentResult,
     default_schemes,
     get_scale,
-    run_leaf_spine,
 )
 from repro.metrics.percentiles import mean, percentile
+from repro.scenario import leaf_spine_scenario, run_scenario
 from repro.sim.units import KB
 
 
@@ -40,11 +40,12 @@ def run(scale: str = "small", seed: int = 0,
         buffer_per_port = int(kb_per_port_gbps * KB * gbps)
         query_size = max(4000, int(0.4 * buffer_per_port * 8))
         for scheme in schemes:
-            run_result = run_leaf_spine(
+            run_result = run_scenario(leaf_spine_scenario(
                 scheme=scheme, config=config, query_size_bytes=query_size,
                 seed=seed, background_load=background_load,
                 buffer_bytes_per_port=buffer_per_port,
-            )
+                name="fig23_buffer_size",
+            ))
             stats = run_result.flow_stats
             result.add_row(
                 buffer_kb_per_port_per_gbps=kb_per_port_gbps,

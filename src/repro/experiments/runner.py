@@ -46,7 +46,18 @@ EXPERIMENTS: Dict[str, str] = {
 
 
 def get_runner(name: str) -> Callable[..., ExperimentResult]:
-    """Import and return the ``run`` function of experiment ``name``."""
+    """Import and return the ``run`` function of experiment ``name``.
+
+    Besides the figure/table harnesses, the pseudo-experiment ``scenario``
+    resolves to :func:`repro.scenario.experiment.run`, which executes a
+    declarative scenario document passed via ``params={"scenario": {...}}``
+    (the campaign layer's ``"scenario"`` grid type).  It is not part of
+    :data:`EXPERIMENTS` because it cannot run without a document (so
+    ``runner all`` skips it).
+    """
+    if name == "scenario":
+        module = importlib.import_module("repro.scenario.experiment")
+        return module.run
     try:
         module_path = EXPERIMENTS[name]
     except KeyError:

@@ -13,7 +13,7 @@ The paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.metrics.percentiles import mean, percentile
 

@@ -7,7 +7,7 @@ receiving node's ``deliver`` method.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 from repro.sim.engine import Simulator
 from repro.switchsim.packet import Packet

@@ -1,0 +1,8 @@
+"""``python -m repro.scenario`` entry point."""
+
+import sys
+
+from repro.scenario.experiment import main
+
+if __name__ == "__main__":
+    sys.exit(main())

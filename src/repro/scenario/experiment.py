@@ -1,0 +1,103 @@
+"""Campaign/runner adapter and CLI for stand-alone scenarios.
+
+``run`` is the pseudo-experiment behind the campaign layer's ``"scenario"``
+grid type: the executor calls it like any figure harness
+(``run(scale=..., seed=..., scenario=...)``) and gets back an
+:class:`~repro.experiments.common.ExperimentResult` with one summary row.
+
+The module also backs ``python -m repro.scenario``::
+
+    python -m repro.scenario run examples/scenario_dumbbell_burst.json
+    python -m repro.scenario run spec.json --seed 3 --json
+    python -m repro.scenario registries
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import ScenarioSpec
+
+
+def run(scale: str = "small", seed: int = 0, scenario: Optional[dict] = None):
+    """Execute a scenario document; the campaign's ``"scenario"`` experiment.
+
+    ``scenario`` is a :class:`~repro.scenario.spec.ScenarioSpec` dict.  The
+    ``seed`` argument (the sweep axis) overrides any seed embedded in the
+    document; ``scale`` is accepted for interface compatibility but ignored
+    -- scenario documents are self-contained.
+    """
+    del scale
+    if scenario is None:
+        raise ValueError(
+            "the 'scenario' experiment needs a scenario document; "
+            "pass params={'scenario': {...}} (see repro.scenario.spec)")
+    spec = replace(ScenarioSpec.from_dict(scenario), seed=seed)
+    return run_scenario(spec).to_experiment_result()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads import reset_workload_ids
+
+    spec = ScenarioSpec.from_file(args.spec)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    reset_workload_ids()
+    result = run_scenario(spec)
+    experiment_result = result.to_experiment_result()
+    if args.json:
+        print(json.dumps(experiment_result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"[{spec.label()}  hash={spec.config_hash()}]")
+        print(experiment_result)
+    return 0
+
+
+def _cmd_registries(args: argparse.Namespace) -> int:
+    del args
+    from repro.core.registry import available_schemes
+    from repro.scenario.topologies import available_topologies
+    from repro.scenario.transports import available_transport_profiles
+    from repro.scenario.workloads import available_workloads
+
+    print("schemes:            " + ", ".join(available_schemes()))
+    print("topologies:         " + ", ".join(available_topologies()))
+    print("workloads:          " + ", ".join(available_workloads()))
+    print("transport profiles: " + ", ".join(available_transport_profiles()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a scenario JSON document")
+    p_run.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the document's seed")
+    p_run.add_argument("--json", action="store_true",
+                       help="print the result as JSON instead of a table")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_reg = sub.add_parser("registries",
+                           help="list registered schemes/topologies/workloads")
+    p_reg.set_defaults(func=_cmd_registries)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Executes a :class:`~repro.scenario.spec.ScenarioSpec` and returns results.
+
+The runner resolves each component through its registry (schemes, topologies,
+workloads, transport profiles), instantiates the topology, generates every
+workload from an independent seeded substream, injects the traffic, runs the
+simulation, and wraps the outcome in a typed :class:`ScenarioResult`.
+
+Injection order matters for reproducibility (simultaneous events fire in
+scheduling order): query flows (``query_id`` set) are injected first, then
+everything else, each group in workload-list order -- the exact order of the
+original figure harnesses.
+
+The runner does **not** reset the global flow/query id counters: experiments
+run several scenarios in sequence and ids must keep incrementing across them
+(they feed the ECMP path hash).  Call
+:func:`repro.workloads.reset_workload_ids` first when a standalone run must
+be reproducible in isolation (the campaign executor and the
+``python -m repro.scenario run`` CLI both do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.registry import available_schemes, make_buffer_manager
+from repro.metrics.flows import FlowStats
+from repro.metrics.percentiles import mean, percentile
+from repro.netsim.transport.factory import make_transport
+from repro.scenario.spec import ScenarioSpec, WorkloadSpec
+from repro.scenario.topologies import (
+    LEVEL_SWITCH,
+    available_topologies,
+    make_topology,
+    topology_level,
+)
+from repro.scenario.transports import make_transport_config
+from repro.scenario.workloads import (
+    WorkloadContext,
+    available_workloads,
+    make_workload,
+)
+from repro.sim.rng import SeededRNG
+from repro.switchsim.packet import Packet
+from repro.workloads.spec import FlowSpec
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a harness needs from one scenario run.
+
+    Attributes:
+        spec: the executed scenario.
+        topology: the instantiated topology object (network, switches,
+            traces...).
+        flow_stats: per-flow / per-query statistics; ``None`` for
+            packet-level scenarios (they have no transport flows).
+        level: ``network`` or ``switch``.
+    """
+
+    spec: ScenarioSpec
+    topology: object
+    flow_stats: Optional[FlowStats] = None
+    level: str = "network"
+
+    # -- uniform switch access -----------------------------------------
+    def switches(self) -> List[object]:
+        """All :class:`SharedMemorySwitch` instances of the topology."""
+        nodes = self.topology.all_switches()
+        return [getattr(node, "switch", node) for node in nodes]
+
+    @property
+    def switch(self):
+        """The switch of a single-switch scenario (first switch otherwise)."""
+        return self.switches()[0]
+
+    @property
+    def switch_stats(self):
+        """Stats of the (first) switch -- the single-switch harness shape."""
+        return self.switch.stats
+
+    def total_drops(self) -> int:
+        return sum(s.stats.total_lost_packets for s in self.switches())
+
+    def total_expelled(self) -> int:
+        return sum(s.stats.expelled_packets for s in self.switches())
+
+    # -- summary ------------------------------------------------------
+    def summary_row(self) -> Dict[str, object]:
+        """One flat row of identity + headline metrics (campaign reports)."""
+        row: Dict[str, object] = {
+            "scenario": self.spec.name,
+            "scheme": self.spec.scheme.name,
+            "topology": self.spec.topology.kind,
+            "seed": self.spec.seed,
+        }
+        for key, value in sorted(self.spec.scheme.kwargs.items()):
+            if isinstance(value, (int, float, str, bool)):
+                row[key] = value
+        stats_drops = sum(s.stats.dropped_packets for s in self.switches())
+        if self.flow_stats is not None:
+            stats = self.flow_stats
+            row["flows"] = len(stats.completed_flows())
+            row["completion"] = round(stats.completion_fraction(), 4)
+            fcts = stats.fct_values()
+            if fcts:
+                row["avg_fct_ms"] = mean(fcts) * 1e3
+                row["p99_fct_ms"] = percentile(fcts, 99) * 1e3
+                row["avg_fct_slowdown"] = mean(stats.fct_slowdowns())
+            qcts = stats.qct_values()
+            if qcts:
+                row["queries"] = len(stats.completed_queries())
+                row["avg_qct_ms"] = mean(qcts) * 1e3
+                row["p99_qct_ms"] = percentile(qcts, 99) * 1e3
+                row["avg_qct_slowdown"] = mean(stats.qct_slowdowns())
+        row["drops"] = stats_drops
+        row["expelled"] = self.total_expelled()
+        return row
+
+    def to_experiment_result(self):
+        """The summary row wrapped as an ExperimentResult (campaign layer)."""
+        # Imported lazily: repro.experiments.common builds on this package.
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(
+            f"scenario:{self.spec.name}",
+            notes=self.spec.label(),
+        )
+        result.add_row(**self.summary_row())
+        return result
+
+
+class ScenarioRunner:
+    """Instantiates and executes scenarios."""
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        self.validate(spec)
+        manager_factory = lambda: make_buffer_manager(  # noqa: E731
+            spec.scheme.name, **spec.scheme.kwargs)
+        level = topology_level(spec.topology.kind)
+        topology = make_topology(spec.topology.kind, manager_factory,
+                                 **spec.topology.params)
+        self._apply_alpha_overrides(spec, topology)
+
+        rng = SeededRNG(spec.seed)
+        hosts = list(getattr(topology, "hosts", []) or [])
+        link_rate_bps = getattr(topology, "link_rate_bps", 0.0)
+        generated: List[Tuple[WorkloadSpec, Sequence]] = []
+        for workload in spec.workloads:
+            ctx = WorkloadContext(
+                rng=rng.child(workload.rng_label or workload.kind),
+                duration=spec.duration,
+                hosts=hosts,
+                link_rate_bps=link_rate_bps,
+                topology=topology,
+            )
+            generated.append(
+                (workload, make_workload(workload.kind, workload.params, ctx))
+            )
+
+        if level == LEVEL_SWITCH:
+            self._run_packet_level(spec, topology, generated)
+            return ScenarioResult(spec=spec, topology=topology,
+                                  flow_stats=None, level=level)
+        self._run_network_level(spec, topology, generated)
+        return ScenarioResult(spec=spec, topology=topology,
+                              flow_stats=topology.network.flow_stats,
+                              level=level)
+
+    # -- validation ----------------------------------------------------
+    def validate(self, spec: ScenarioSpec) -> None:
+        """Fail fast with a precise message instead of mid-simulation."""
+        if spec.scheme.name not in available_schemes():
+            raise KeyError(
+                f"unknown scheme {spec.scheme.name!r}; "
+                f"available: {', '.join(available_schemes())}")
+        if spec.topology.kind not in available_topologies():
+            raise KeyError(
+                f"unknown topology {spec.topology.kind!r}; "
+                f"available: {', '.join(available_topologies())}")
+        for workload in spec.workloads:
+            if workload.kind not in available_workloads():
+                raise KeyError(
+                    f"unknown workload {workload.kind!r}; "
+                    f"available: {', '.join(available_workloads())}")
+        if spec.duration <= 0:
+            raise ValueError("scenario duration must be positive")
+        if spec.run_slack <= 0:
+            raise ValueError("run_slack must be positive")
+        # Protocol names resolve eagerly too (raises KeyError on typos).
+        make_transport(spec.transport.protocol)
+        for workload in spec.workloads:
+            if workload.transport is not None:
+                make_transport(workload.transport)
+
+    # -- internals -----------------------------------------------------
+    def _apply_alpha_overrides(self, spec: ScenarioSpec, topology) -> None:
+        if not spec.alpha_overrides:
+            return
+        nodes = topology.all_switches()
+        for node in nodes:
+            switch = getattr(node, "switch", node)
+            for queue in switch.queue_views():
+                if queue.class_index in spec.alpha_overrides:
+                    queue.alpha_override = spec.alpha_overrides[queue.class_index]
+
+    def _run_network_level(self, spec, topology, generated) -> None:
+        network = topology.network
+        network.set_transport_config(make_transport_config(spec.transport))
+        default_protocol = spec.transport.protocol
+        seen_ids: Dict[int, str] = {}
+        for workload, flows in generated:
+            if any(not isinstance(f, FlowSpec) for f in flows):
+                raise ValueError(
+                    f"workload {workload.kind!r} produced raw packet arrivals; "
+                    "it needs a packet-level topology (e.g. raw_switch)")
+            for flow in flows:
+                # FlowStats keys records by flow_id and would silently
+                # overwrite on collision, corrupting every metric.  Pinned
+                # ids (a 'fixed' workload replayed after the id counter was
+                # reset) are the one way to get here.
+                if flow.flow_id in seen_ids:
+                    raise ValueError(
+                        f"duplicate flow_id {flow.flow_id}: workloads "
+                        f"{seen_ids[flow.flow_id]!r} and {workload.kind!r} "
+                        "both produced it.  Drop the pinned 'flow_id' "
+                        "entries from the fixed workload (or build it with "
+                        "keep_ids=False) so ids are auto-assigned.")
+                seen_ids[flow.flow_id] = workload.kind
+        # Query flows first, then the rest, each in workload-list order.
+        for query_pass in (True, False):
+            for workload, flows in generated:
+                group = [f for f in flows
+                         if (f.query_id is not None) == query_pass]
+                if group:
+                    network.inject_flows(
+                        group, transport=workload.transport or default_protocol)
+        network.run(until=spec.duration * spec.run_slack)
+
+    def _run_packet_level(self, spec, topology, generated) -> None:
+        sim = topology.sim
+        switch = topology.switch
+        for workload, arrivals in generated:
+            if any(isinstance(a, FlowSpec) for a in arrivals):
+                raise ValueError(
+                    f"workload {workload.kind!r} produced transport flows; "
+                    "it needs a network-level topology")
+            for time, size, port in arrivals:
+                sim.at(time, lambda s=size, p=port: switch.receive(
+                    Packet(size_bytes=s), p))
+        sim.run(until=spec.duration * spec.run_slack)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience one-shot execution of a scenario."""
+    return ScenarioRunner().run(spec)

@@ -1,0 +1,235 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` pins down one complete simulation: which
+buffer-management *scheme* runs on the switches, which *topology* the network
+has, which *workloads* inject traffic, and how the *transport* is configured.
+Every component is referenced by registry name plus keyword parameters, so a
+scenario is fully expressible as JSON::
+
+    {
+      "name": "dumbbell-burst",
+      "scheme": {"name": "occamy", "kwargs": {"alpha": 4.0}},
+      "topology": {"kind": "dumbbell", "params": {"num_pairs": 4}},
+      "workloads": [
+        {"kind": "burst", "params": {"burst_bytes": 100000}}
+      ],
+      "transport": {"protocol": "dctcp", "config": {"min_rto": 0.002}},
+      "duration": 0.005,
+      "seed": 0
+    }
+
+Like :class:`repro.campaign.spec.RunSpec`, a scenario has a stable
+:meth:`~ScenarioSpec.config_hash` derived from the canonical JSON encoding of
+its fields, so identical scenarios hash identically across processes and
+sessions -- which is what lets the campaign layer cache and resume scenario
+sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+
+def canonical_json(data: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class SchemeSpec:
+    """A buffer-management scheme by registry name plus constructor kwargs."""
+
+    name: str
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, object]]) -> "SchemeSpec":
+        if isinstance(data, str):  # shorthand: "occamy"
+            return cls(name=data)
+        return cls(name=str(data["name"]), kwargs=dict(data.get("kwargs", {})))
+
+
+@dataclass
+class TopologySpec:
+    """A topology by registry kind plus builder parameters."""
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, object]]) -> "TopologySpec":
+        if isinstance(data, str):
+            return cls(kind=data)
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass
+class WorkloadSpec:
+    """One traffic source: a workload registry kind plus parameters.
+
+    Attributes:
+        kind: workload factory name (``incast``, ``websearch``, ``poisson``,
+            ``all_to_all``, ``all_reduce``, ``burst``, ``fixed``,
+            ``packet_stream``, ``packet_burst``, ...).
+        params: factory keyword parameters.
+        transport: transport protocol for this workload's flows; ``None``
+            falls back to the scenario's default protocol.
+        rng_label: label of the derived random substream this workload draws
+            from (defaults to ``kind``).  Two workloads with the same label
+            share a stream seed, so give distinct labels to independent
+            sources.
+    """
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+    transport: Optional[str] = None
+    rng_label: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "transport": self.transport,
+            "rng_label": self.rng_label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadSpec":
+        return cls(
+            kind=str(data["kind"]),
+            params=dict(data.get("params", {})),
+            transport=(None if data.get("transport") is None
+                       else str(data["transport"])),
+            rng_label=(None if data.get("rng_label") is None
+                       else str(data["rng_label"])),
+        )
+
+
+@dataclass
+class TransportSpec:
+    """Transport configuration: default protocol + config profile/overrides.
+
+    Attributes:
+        protocol: default transport protocol name (``dctcp``, ``cubic``,
+            ``reno``) for workloads that do not specify their own.
+        profile: name of a registered transport-config profile (see
+            :mod:`repro.scenario.transports`); ``None`` uses the built-in
+            :class:`~repro.netsim.transport.base.TransportConfig` defaults.
+        config: keyword overrides applied on top of the profile.
+    """
+
+    protocol: str = "dctcp"
+    profile: Optional[str] = None
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "profile": self.profile,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TransportSpec":
+        return cls(
+            protocol=str(data.get("protocol", "dctcp")),
+            profile=(None if data.get("profile") is None
+                     else str(data["profile"])),
+            config=dict(data.get("config", {})),
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """One fully-determined scenario: scheme x topology x workloads x transport.
+
+    Attributes:
+        name: human-readable scenario name.  It participates in the config
+            hash, so renaming a scenario invalidates cached campaign results
+            -- rename with intent.
+        scheme / topology / workloads / transport: the four composed specs.
+        duration: workload generation window in seconds; generators emit
+            traffic within ``[0, duration)``.
+        run_slack: the simulation runs until ``duration * run_slack`` so
+            late flows can drain (packet-level scenarios typically use 1.0).
+        seed: root random seed; every workload derives an independent child
+            stream from it.
+        alpha_overrides: per-class-index alpha overrides applied to every
+            switch queue (e.g. ``{0: 8.0, 1: 1.0}`` for the strict-priority
+            experiments).
+    """
+
+    name: str
+    scheme: SchemeSpec
+    topology: TopologySpec
+    workloads: List[WorkloadSpec] = field(default_factory=list)
+    transport: TransportSpec = field(default_factory=TransportSpec)
+    duration: float = 0.02
+    run_slack: float = 10.0
+    seed: int = 0
+    alpha_overrides: Dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "scheme": self.scheme.to_dict(),
+            "topology": self.topology.to_dict(),
+            "workloads": [w.to_dict() for w in self.workloads],
+            "transport": self.transport.to_dict(),
+            "duration": self.duration,
+            "run_slack": self.run_slack,
+            "seed": self.seed,
+            # JSON objects have string keys; normalize so the canonical
+            # encoding (and thus the config hash) is representation-stable.
+            "alpha_overrides": {
+                str(k): float(v) for k, v in self.alpha_overrides.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        workloads = data.get("workloads", [])
+        if not isinstance(workloads, (list, tuple)):
+            raise ValueError(f"workloads must be a list, got {workloads!r}")
+        return cls(
+            name=str(data.get("name", "scenario")),
+            scheme=SchemeSpec.from_dict(data["scheme"]),
+            topology=TopologySpec.from_dict(data["topology"]),
+            workloads=[WorkloadSpec.from_dict(w) for w in workloads],
+            transport=TransportSpec.from_dict(data.get("transport", {})),
+            duration=float(data.get("duration", 0.02)),
+            run_slack=float(data.get("run_slack", 10.0)),
+            seed=int(data.get("seed", 0)),
+            alpha_overrides={
+                int(k): float(v)
+                for k, v in data.get("alpha_overrides", {}).items()
+            },
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text())
+
+    def config_hash(self) -> str:
+        """A 16-hex-digit digest stable across processes and sessions."""
+        digest = hashlib.sha256(canonical_json(self.to_dict()).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def label(self) -> str:
+        """Compact identity for progress lines and logs."""
+        return (f"{self.name} [{self.scheme.name} x {self.topology.kind} x "
+                f"{'+'.join(w.kind for w in self.workloads)} seed={self.seed}]")

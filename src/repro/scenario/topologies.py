@@ -1,0 +1,95 @@
+"""The topology registry: names -> topology builders.
+
+Every entry couples a builder callable with its *level*:
+
+* ``network`` -- the builder returns a topology exposing ``.network`` (hosts,
+  links, transport); workloads produce :class:`~repro.workloads.spec.FlowSpec`
+  lists that the runner injects as transport connections.
+* ``switch`` -- the builder returns a topology exposing ``.switch`` and no
+  network; workloads produce raw ``(time, size_bytes, port)`` arrivals applied
+  straight to the switch ingress (the P4-prototype figures).
+
+Builders take ``(manager_factory, **params)`` where ``manager_factory`` is a
+zero-argument callable producing a fresh buffer manager per switch and
+``params`` come verbatim from :class:`~repro.scenario.spec.TopologySpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.scenario.registry import Registry
+from repro.topology.dumbbell import DumbbellTopology
+from repro.topology.leaf_spine import LeafSpineTopology
+from repro.topology.raw_switch import RawSwitchTopology
+from repro.topology.single_switch import SingleSwitchTopology
+
+LEVEL_NETWORK = "network"
+LEVEL_SWITCH = "switch"
+
+
+@dataclass
+class TopologyEntry:
+    builder: Callable[..., object]
+    level: str = LEVEL_NETWORK
+
+
+_TOPOLOGIES: Registry[TopologyEntry] = Registry("topology")
+
+
+def register_topology(
+    name: str,
+    builder: Callable[..., object],
+    level: str = LEVEL_NETWORK,
+    override: bool = False,
+) -> None:
+    """Register a topology builder under ``name``."""
+    if level not in (LEVEL_NETWORK, LEVEL_SWITCH):
+        raise ValueError(f"level must be 'network' or 'switch', got {level!r}")
+    _TOPOLOGIES.register(name, TopologyEntry(builder=builder, level=level),
+                         override=override)
+
+
+def unregister_topology(name: str) -> None:
+    _TOPOLOGIES.unregister(name)
+
+
+def available_topologies() -> List[str]:
+    return _TOPOLOGIES.names()
+
+
+def topology_level(name: str) -> str:
+    """The level (``network`` or ``switch``) of topology ``name``."""
+    return _TOPOLOGIES.get(name).level
+
+
+def make_topology(name: str, manager_factory: Callable[[], object], **params):
+    """Build the topology registered under ``name``."""
+    entry = _TOPOLOGIES.get(name)
+    return entry.builder(manager_factory, **params)
+
+
+# ----------------------------------------------------------------------
+# Built-in topologies
+# ----------------------------------------------------------------------
+def _single_switch(manager_factory, **params) -> SingleSwitchTopology:
+    return SingleSwitchTopology(manager_factory=manager_factory, **params)
+
+
+def _leaf_spine(manager_factory, **params) -> LeafSpineTopology:
+    return LeafSpineTopology(manager_factory=manager_factory, **params)
+
+
+def _dumbbell(manager_factory, **params) -> DumbbellTopology:
+    return DumbbellTopology(manager_factory=manager_factory, **params)
+
+
+def _raw_switch(manager_factory, **params) -> RawSwitchTopology:
+    return RawSwitchTopology(manager_factory=manager_factory, **params)
+
+
+register_topology("single_switch", _single_switch, level=LEVEL_NETWORK)
+register_topology("leaf_spine", _leaf_spine, level=LEVEL_NETWORK)
+register_topology("dumbbell", _dumbbell, level=LEVEL_NETWORK)
+register_topology("raw_switch", _raw_switch, level=LEVEL_SWITCH)

@@ -8,8 +8,8 @@ preemptive schemes -- an expulsion engine fed by redundant memory bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.base import AdmissionDecision, BufferManager, EvictionRequest
 from repro.core.expulsion import ExpulsionEngine, TokenBucket

@@ -3,9 +3,11 @@
 from repro.topology.single_switch import SingleSwitchTopology
 from repro.topology.leaf_spine import LeafSpineTopology
 from repro.topology.dumbbell import DumbbellTopology
+from repro.topology.raw_switch import RawSwitchTopology
 
 __all__ = [
     "DumbbellTopology",
     "LeafSpineTopology",
+    "RawSwitchTopology",
     "SingleSwitchTopology",
 ]

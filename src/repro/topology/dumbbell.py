@@ -43,6 +43,8 @@ class DumbbellTopology:
             raise ValueError("need at least one sender/receiver pair")
         self.sim = simulator or Simulator()
         bottleneck_rate_bps = bottleneck_rate_bps or edge_rate_bps
+        self.link_rate_bps = edge_rate_bps
+        self.bottleneck_rate_bps = bottleneck_rate_bps
         if buffer_bytes is None:
             buffer_bytes = int(5.12 * KB * (num_pairs + 1) * edge_rate_bps / 1e9)
 
@@ -86,3 +88,15 @@ class DumbbellTopology:
             # Cross-switch routes go over the trunk (port 0).
             self.left.routing.add_host_route(receiver_id, 0)
             self.right.routing.add_host_route(sender_id, 0)
+
+    @property
+    def hosts(self) -> List[int]:
+        """All host ids, senders first (the workload layer's uniform view)."""
+        return self.senders + self.receivers
+
+    def all_switches(self) -> List[SwitchNode]:
+        """Uniform accessor shared by every topology: all switch nodes."""
+        return [self.left, self.right]
+
+    def total_switch_drops(self) -> int:
+        return sum(node.stats.total_lost_packets for node in self.all_switches())

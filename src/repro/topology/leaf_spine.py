@@ -14,7 +14,7 @@ from repro.core.base import BufferManager
 from repro.netsim.network import Network
 from repro.netsim.switch_node import SwitchNode
 from repro.sim.engine import Simulator
-from repro.sim.units import GBPS, KB, MB
+from repro.sim.units import GBPS, KB
 from repro.switchsim.switch import SwitchConfig
 
 

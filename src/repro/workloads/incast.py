@@ -9,7 +9,7 @@ arrive according to a Poisson process.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.sim.rng import SeededRNG
 from repro.workloads.spec import FlowSpec

@@ -5,7 +5,6 @@ cover the full stack; the aggregation tests use synthetic store entries.
 """
 
 import json
-import math
 import subprocess
 import sys
 from pathlib import Path

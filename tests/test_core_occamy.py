@@ -6,7 +6,7 @@ from repro.core import DynamicThreshold, Occamy
 from repro.core.expulsion import HeadDropSelector, RoundRobinPointer, TokenBucket
 from repro.core.occamy import OccamyLongestDrop
 from repro.sim import Simulator
-from repro.sim.units import GBPS, KB, MB
+from repro.sim.units import GBPS, KB
 from repro.switchsim import Packet, SharedMemorySwitch, SwitchConfig
 
 

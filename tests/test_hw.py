@@ -1,6 +1,5 @@
 """Tests for the hardware functional and cost models."""
 
-import math
 
 import pytest
 

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.core import CompleteSharing, DynamicThreshold, Occamy
-from repro.netsim import EcmpRoutingTable, Network, TransportConfig
+from repro.netsim import EcmpRoutingTable, TransportConfig
 from repro.netsim.transport import make_transport
 from repro.netsim.transport.base import ReceiverState
-from repro.sim import Simulator
-from repro.sim.units import GBPS, KB, MB
+from repro.sim.units import GBPS, KB
 from repro.switchsim import Packet
 from repro.topology import DumbbellTopology, LeafSpineTopology, SingleSwitchTopology
 from repro.workloads import FlowSpec

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CompleteSharing, DynamicThreshold, Occamy, Pushout
+from repro.core import CompleteSharing, DynamicThreshold, Occamy
 from repro.sim import Simulator
 from repro.sim.units import GBPS, KB, MB
 from repro.switchsim import Packet, SharedMemorySwitch, SwitchConfig
