@@ -22,7 +22,9 @@ paper's artifact.
 
 from __future__ import annotations
 
-from repro.core.base import BufferManager, QueueView, clamp_threshold
+from typing import List
+
+from repro.core.base import BufferManager, QueueView
 
 
 class ABM(BufferManager):
@@ -40,18 +42,40 @@ class ABM(BufferManager):
         #: Lower bound on the normalized drain rate so that very slowly
         #: draining queues still receive a nonzero allowance.
         self.min_drain_fraction = min_drain_fraction
+        #: Per-port rate cache (bytes/sec), filled on :meth:`attach`; port
+        #: rates are fixed for the life of a switch, so looking them up per
+        #: admission decision is invariant work hoisted out of the hot path.
+        self._port_rate_bytes: List[float] = []
+
+    def attach(self, switch) -> None:
+        super().attach(switch)
+        self._port_rate_bytes = [port.rate_bps / 8.0 for port in switch.ports]
+
+    def detach(self) -> None:
+        super().detach()
+        self._port_rate_bytes = []
 
     def threshold(self, queue: QueueView, now: float) -> float:
-        switch = self._require_switch()
-        alpha = self.effective_alpha(queue, self.alpha)
-        n_active = max(1, switch.active_queue_count(priority=queue.priority))
-        drain = self._normalized_drain(queue)
-        return clamp_threshold(alpha / n_active * switch.free_buffer_bytes * drain)
+        # Hot path: the active-queue count is O(1) (maintained incrementally
+        # by the switch) and the port rate comes from the attach-time cache.
+        switch = self.switch
+        if switch is None:
+            self._require_switch()
+        override = queue.alpha_override
+        alpha = self.alpha if override is None else override
+        n_active = switch.active_queue_count(queue.priority)
+        if n_active < 1:
+            n_active = 1
+        value = (alpha / n_active * switch.free_buffer_bytes
+                 * self._normalized_drain(queue))
+        return value if value > 0.0 else 0.0
 
     def _normalized_drain(self, queue: QueueView) -> float:
         """Normalized drain rate in (0, 1]; inactive/new queues get 1.0."""
-        switch = self._require_switch()
-        port_rate_bytes = switch.port_rate_bytes_per_sec(queue.port_id)
+        port_rate_bytes = (
+            self._port_rate_bytes[queue.port_id] if self._port_rate_bytes
+            else self._require_switch().port_rate_bytes_per_sec(queue.port_id)
+        )
         if port_rate_bytes <= 0:
             return 1.0
         estimate = queue.drain_rate_estimate
@@ -61,7 +85,9 @@ class ABM(BufferManager):
             # is not starved before its first transmission.
             return 1.0
         fraction = estimate / port_rate_bytes
-        return min(1.0, max(self.min_drain_fraction, fraction))
+        if fraction < self.min_drain_fraction:
+            fraction = self.min_drain_fraction
+        return fraction if fraction < 1.0 else 1.0
 
     def describe(self) -> str:
         return f"abm(alpha={self.alpha})"

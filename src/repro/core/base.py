@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.switchsim.switch import SharedMemorySwitch
@@ -74,6 +81,12 @@ class AdmissionDecision:
     reason: str = ""
 
 
+#: Shared plain-accept decision used on the hot admission path.  Callers must
+#: treat decisions as immutable (schemes that request evictions build their
+#: own instances).
+ACCEPT = AdmissionDecision(True)
+
+
 class BufferManager:
     """Abstract base class for buffer management schemes.
 
@@ -133,7 +146,7 @@ class BufferManager:
         limit = self.threshold(queue, now)
         if queue.length_bytes + packet_bytes > limit:
             return AdmissionDecision(False, reason="over_threshold")
-        return AdmissionDecision(True)
+        return ACCEPT
 
     def over_allocated(self, queue: QueueView, now: float) -> bool:
         """Whether ``queue`` currently holds more than its fair threshold.
@@ -142,6 +155,17 @@ class BufferManager:
         inherit the same definition for instrumentation purposes.
         """
         return queue.length_bytes > self.threshold(queue, now)
+
+    def over_allocated_flags(self, queues: Sequence[QueueView],
+                             now: float) -> List[bool]:
+        """Per-queue over-allocation flags, in queue order.
+
+        The expulsion engine rebuilds this bitmap on every invocation;
+        schemes whose threshold shares work across queues (DT's free-buffer
+        term) override it to hoist that work out of the per-queue loop.
+        """
+        return [queue.length_bytes > self.threshold(queue, now)
+                for queue in queues]
 
     # ------------------------------------------------------------------
     # Bookkeeping hooks (no-ops by default)

@@ -13,7 +13,7 @@ In the steady state with ``N`` congested queues the reserved free buffer is
 
 from __future__ import annotations
 
-from repro.core.base import BufferManager, QueueView, clamp_threshold
+from repro.core.base import ACCEPT, AdmissionDecision, BufferManager, QueueView
 
 
 class DynamicThreshold(BufferManager):
@@ -28,9 +28,61 @@ class DynamicThreshold(BufferManager):
         self.alpha = alpha
 
     def threshold(self, queue: QueueView, now: float) -> float:
-        switch = self._require_switch()
-        alpha = self.effective_alpha(queue, self.alpha)
-        return clamp_threshold(alpha * switch.free_buffer_bytes)
+        # Hot path: effective_alpha/clamp_threshold inlined.  The constructor
+        # guarantees alpha > 0, but a per-queue alpha_override may be
+        # non-positive, so the product still clamps at zero.
+        switch = self.switch
+        if switch is None:
+            self._require_switch()
+        override = queue.alpha_override
+        alpha = self.alpha if override is None else override
+        value = alpha * switch.free_buffer_bytes
+        return value if value > 0.0 else 0.0
+
+    def admit(self, queue: QueueView, packet_bytes: int, now: float) -> AdmissionDecision:
+        # Same decision as the base implementation, but the free buffer is
+        # read once and shared between the fit check and the threshold.
+        switch = self.switch
+        if switch is None:
+            self._require_switch()
+        free = switch.cell_pool.free_bytes
+        if packet_bytes > free:
+            return AdmissionDecision(False, reason="buffer_full")
+        override = queue.alpha_override
+        alpha = self.alpha if override is None else override
+        limit = alpha * free
+        if limit < 0.0:
+            limit = 0.0
+        if queue.length_bytes + packet_bytes > limit:
+            return AdmissionDecision(False, reason="over_threshold")
+        return ACCEPT
+
+    def over_allocated(self, queue: QueueView, now: float) -> bool:
+        # length_bytes >= 0, so comparing against the unclamped product is
+        # equivalent to comparing against the clamped threshold only when the
+        # product is non-negative; clamp explicitly for negative overrides.
+        switch = self.switch
+        if switch is None:
+            self._require_switch()
+        override = queue.alpha_override
+        alpha = self.alpha if override is None else override
+        limit = alpha * switch.cell_pool.free_bytes
+        return queue.length_bytes > (limit if limit > 0.0 else 0.0)
+
+    def over_allocated_flags(self, queues, now: float):
+        # The free-buffer term is shared by every queue; read it once.
+        switch = self.switch
+        if switch is None:
+            self._require_switch()
+        free = switch.cell_pool.free_bytes
+        default_alpha = self.alpha
+        flags = []
+        for queue in queues:
+            override = queue.alpha_override
+            alpha = default_alpha if override is None else override
+            limit = alpha * free
+            flags.append(queue.length_bytes > (limit if limit > 0.0 else 0.0))
+        return flags
 
     # ------------------------------------------------------------------
     # Analytical helpers (used by experiments and tests)

@@ -222,7 +222,7 @@ class ExpulsionEngine:
         result = ExpulsionResult()
         for _ in range(self.max_drops_per_run):
             views = self.switch.queue_views()
-            flags = [self.manager.over_allocated(view, now) for view in views]
+            flags = self.manager.over_allocated_flags(views, now)
             self.selector.update(flags)
             if not self.selector.any_over_allocated():
                 break

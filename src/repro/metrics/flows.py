@@ -45,7 +45,7 @@ def slowdown(actual: float, ideal: float) -> float:
     return actual / ideal
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowRecord:
     """Lifetime record of a single flow."""
 
@@ -73,7 +73,7 @@ class FlowRecord:
         return self.size_bytes < SMALL_FLOW_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryRecord:
     """A query (partition-aggregate request) made of several incast flows."""
 

@@ -6,7 +6,6 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.units import transmission_time
 from repro.switchsim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,6 +32,10 @@ class Host:
 
         self._tx_queue: Deque[Packet] = deque()
         self._tx_busy = False
+        #: Packet currently serializing on the NIC (valid while ``_tx_busy``);
+        #: kept here so the transmit loop schedules one prebuilt bound method
+        #: instead of allocating a closure per packet.
+        self._tx_inflight: Optional[Packet] = None
 
         self.senders: Dict[int, "SenderTransport"] = {}
         self.receivers: Dict[int, "ReceiverState"] = {}
@@ -75,10 +78,13 @@ class Host:
             return
         packet = self._tx_queue.popleft()
         self._tx_busy = True
-        delay = transmission_time(packet.size_bytes, self.nic_rate_bps)
-        self.sim.schedule(delay, lambda p=packet: self._finish_transmit(p))
+        self._tx_inflight = packet
+        delay = packet.size_bytes * 8 / self.nic_rate_bps
+        self.sim.schedule_fast(delay, self._finish_transmit)
 
-    def _finish_transmit(self, packet: Packet) -> None:
+    def _finish_transmit(self) -> None:
+        packet = self._tx_inflight
+        self._tx_inflight = None
         self._tx_busy = False
         self.sent_packets += 1
         self.sent_bytes += packet.size_bytes

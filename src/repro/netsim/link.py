@@ -7,7 +7,8 @@ receiving node's ``deliver`` method.
 
 from __future__ import annotations
 
-from typing import Protocol
+from collections import deque
+from typing import Deque, Protocol
 
 from repro.sim.engine import Simulator
 from repro.switchsim.packet import Packet
@@ -32,6 +33,12 @@ class Link:
         self.name = name
         self.packets_carried = 0
         self.bytes_carried = 0
+        #: Packets currently propagating, in arrival order.  The propagation
+        #: delay is constant, so departures arrive FIFO and one prebuilt
+        #: bound method can deliver them without per-packet closures (events
+        #: scheduled at equal timestamps also fire in scheduling order, so
+        #: the pop order always matches the event order).
+        self._in_flight: Deque[Packet] = deque()
 
     def transmit(self, packet: Packet) -> None:
         """Start propagating ``packet``; it arrives ``delay`` seconds later."""
@@ -40,7 +47,11 @@ class Link:
         if self.delay == 0:
             self.dst_node.deliver(packet)
         else:
-            self.sim.schedule(self.delay, lambda p=packet: self.dst_node.deliver(p))
+            self._in_flight.append(packet)
+            self.sim.schedule_fast(self.delay, self._arrive)
+
+    def _arrive(self) -> None:
+        self.dst_node.deliver(self._in_flight.popleft())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<Link {self.name or id(self)} delay={self.delay * 1e6:.1f}us>"

@@ -29,15 +29,22 @@ class EcmpRoutingTable:
     def __init__(self) -> None:
         self._host_routes: Dict[int, int] = {}
         self._uplinks: List[int] = []
+        #: Memoized ECMP picks keyed by (src, dst, flow_id).  The hash is a
+        #: pure function of that key and the uplink list, so per-flow lookups
+        #: replace recomputing the mix for every packet; any topology change
+        #: invalidates the cache.
+        self._ecmp_cache: Dict[tuple, int] = {}
 
     def add_host_route(self, dst_host: int, port_id: int) -> None:
         """Send traffic for ``dst_host`` out of ``port_id``."""
         self._host_routes[dst_host] = port_id
+        self._ecmp_cache.clear()
 
     def add_uplink(self, port_id: int) -> None:
         """Register an uplink port participating in ECMP."""
         if port_id not in self._uplinks:
             self._uplinks.append(port_id)
+            self._ecmp_cache.clear()
 
     def add_uplinks(self, port_ids) -> None:
         for port_id in port_ids:
@@ -52,9 +59,15 @@ class EcmpRoutingTable:
         port = self._host_routes.get(packet.dst)
         if port is not None:
             return port
-        if not self._uplinks:
-            raise LookupError(
-                f"no route for destination host {packet.dst} and no uplinks configured"
-            )
-        index = _mix(packet.src, packet.dst, packet.flow_id) % len(self._uplinks)
-        return self._uplinks[index]
+        key = (packet.src, packet.dst, packet.flow_id)
+        port = self._ecmp_cache.get(key)
+        if port is None:
+            if not self._uplinks:
+                raise LookupError(
+                    f"no route for destination host {packet.dst} "
+                    "and no uplinks configured"
+                )
+            index = _mix(packet.src, packet.dst, packet.flow_id) % len(self._uplinks)
+            port = self._uplinks[index]
+            self._ecmp_cache[key] = port
+        return port

@@ -131,7 +131,12 @@ class SenderTransport:
         self.srtt: Optional[float] = None
         self.rttvar: Optional[float] = None
         self.rto = self.config.initial_rto
+        #: Lazy RTO timer: ``_rto_deadline`` is the authoritative expiry time;
+        #: the scheduled event is only moved when it would fire too late, so
+        #: restarting the timer on every ACK costs no heap operations.
         self._rto_event = None
+        self._rto_event_time = 0.0
+        self._rto_deadline: Optional[float] = None
         self._rto_backoff = 1
 
         # Statistics.
@@ -265,22 +270,38 @@ class SenderTransport:
         if self.done:
             self._cancel_rto()
             return
-        if self._rto_event is not None:
-            if not restart:
-                return
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
+        if self._rto_deadline is not None and not restart:
+            return
         timeout = min(self.config.max_rto, self.rto * self._rto_backoff)
-        self._rto_event = self.sim.schedule(timeout, self._on_rto)
+        self._rto_deadline = deadline = self.sim.now + timeout
+        event = self._rto_event
+        if event is not None:
+            if self._rto_event_time <= deadline:
+                # The pending event fires at or before the new deadline; when
+                # it does, _on_rto re-arms for the remainder.  This is the
+                # common case, so restarting the timer is free.
+                return
+            event.cancel()
+        self._rto_event = self.sim.at(deadline, self._on_rto)
+        self._rto_event_time = deadline
 
     def _cancel_rto(self) -> None:
-        if self._rto_event is not None:
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
+        # Lazy: the pending event (if any) no-ops once the deadline is gone.
+        self._rto_deadline = None
 
     def _on_rto(self) -> None:
         self._rto_event = None
         if self.finished or self.done:
+            return
+        deadline = self._rto_deadline
+        if deadline is None:
+            return
+        if self.sim.now < deadline:
+            # The deadline moved out while this event was pending; re-arm at
+            # the exact deadline (absolute scheduling keeps float timing
+            # identical to an eagerly restarted timer).
+            self._rto_event = self.sim.at(deadline, self._on_rto)
+            self._rto_event_time = deadline
             return
         self.timeouts += 1
         self._rto_backoff = min(64, self._rto_backoff * 2)

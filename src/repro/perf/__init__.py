@@ -1,0 +1,49 @@
+"""``repro.perf``: the standing benchmark harness for the simulation core.
+
+The subsystem has three parts:
+
+* :mod:`repro.perf.cases` -- a registry of :class:`PerfCase` entries, each
+  wrapping a representative :class:`~repro.scenario.spec.ScenarioSpec`
+  (single-switch incast, leaf-spine web-search, dumbbell burst, packet-level
+  raw switch) at ``small`` and ``medium`` scales;
+* :mod:`repro.perf.harness` -- executes cases with warmup + repetitions and
+  records wall time, events/sec, packets/sec and peak RSS into
+  schema-versioned ``BENCH_perf.json`` snapshots;
+* :mod:`repro.perf.compare` / :mod:`repro.perf.profiling` -- snapshot
+  comparison for CI tripwires (``compare baseline.json head.json
+  --fail-above <pct>``) and cProfile top-N tables per case.
+
+Run it with ``python -m repro.perf run|compare|profile|list``.
+"""
+
+from repro.perf.cases import (
+    PerfCase,
+    available_cases,
+    get_case,
+    register_case,
+    unregister_case,
+)
+from repro.perf.compare import compare_snapshots
+from repro.perf.harness import (
+    SNAPSHOT_SCHEMA_VERSION,
+    CaseMeasurement,
+    load_snapshot,
+    measure_case,
+    run_cases,
+    save_snapshot,
+)
+
+__all__ = [
+    "CaseMeasurement",
+    "PerfCase",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "available_cases",
+    "compare_snapshots",
+    "get_case",
+    "load_snapshot",
+    "measure_case",
+    "register_case",
+    "run_cases",
+    "save_snapshot",
+    "unregister_case",
+]

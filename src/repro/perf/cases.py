@@ -1,0 +1,214 @@
+"""The registry of benchmark cases.
+
+A :class:`PerfCase` names a representative scenario at a given tier
+(``small`` runs in well under a second and feeds the CI tripwire; ``medium``
+runs for a few seconds and is the scale optimization work is judged at) and
+builds a fresh :class:`~repro.scenario.spec.ScenarioSpec` for every
+measurement.  The four built-in families cover every hot path of the
+simulation core:
+
+* ``incast_single_switch`` -- the DPDK-testbed shape: DCTCP incast queries +
+  web-search background through one shared-memory switch (admission,
+  scheduling, transport, host NICs);
+* ``websearch_leaf_spine`` -- the ns-3 fabric shape: multi-switch forwarding
+  with ECMP routing across the spines;
+* ``dumbbell_burst`` -- two switches, cross traffic plus a synchronized
+  burst (Occamy's expulsion engine under pressure);
+* ``raw_switch_stream`` -- the P4-prototype shape: raw packet arrivals on a
+  bare switch with queue tracing on (the pure switch-pipeline path, no
+  transport).
+
+Like the scheme/topology/workload registries, third-party cases can be added
+with :func:`register_case`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.scenario.builders import (
+    leaf_spine_scenario,
+    packet_burst_scenario,
+    single_switch_scenario,
+)
+from repro.scenario.scales import get_scale
+from repro.scenario.spec import (
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TransportSpec,
+    WorkloadSpec,
+)
+from repro.sim.units import GBPS, KB, MB
+
+#: The two built-in tiers, ordered by cost.
+TIERS = ("small", "medium")
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One benchmark case: a named, tiered scenario builder.
+
+    Attributes:
+        name: case family name (e.g. ``incast_single_switch``).
+        tier: ``small`` or ``medium``.
+        build: zero-argument callable returning a fresh ScenarioSpec.
+        description: one line for ``python -m repro.perf list``.
+    """
+
+    name: str
+    tier: str
+    build: Callable[[], ScenarioSpec] = field(compare=False)
+    description: str = ""
+
+    @property
+    def case_id(self) -> str:
+        """The ``family/tier`` identifier used in snapshots."""
+        return f"{self.name}/{self.tier}"
+
+
+_CASES: Dict[str, PerfCase] = {}
+
+
+def register_case(case: PerfCase, override: bool = False) -> None:
+    """Add a case to the registry (``override`` replaces an existing id)."""
+    if case.tier not in TIERS:
+        raise ValueError(f"unknown tier {case.tier!r}; expected one of {TIERS}")
+    if case.case_id in _CASES and not override:
+        raise ValueError(f"perf case {case.case_id!r} is already registered")
+    _CASES[case.case_id] = case
+
+
+def unregister_case(case_id: str) -> None:
+    del _CASES[case_id]
+
+
+def get_case(case_id: str) -> PerfCase:
+    try:
+        return _CASES[case_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown perf case {case_id!r}; "
+            f"available: {', '.join(sorted(_CASES))}"
+        ) from None
+
+
+def available_cases(tier: Optional[str] = None) -> List[PerfCase]:
+    """All registered cases, optionally restricted to one tier."""
+    cases = [case for case in _CASES.values()
+             if tier is None or case.tier == tier]
+    return sorted(cases, key=lambda c: c.case_id)
+
+
+# ----------------------------------------------------------------------
+# Built-in case builders
+# ----------------------------------------------------------------------
+def _incast_single_switch(tier: str) -> ScenarioSpec:
+    # The fig13 shape: incast queries + 50% web-search background.  The
+    # medium tier is the experiments' "small" scale (8 hosts, 20 ms).
+    config = get_scale("bench" if tier == "small" else "small")
+    buffer_bytes = int(config.buffer_kb_per_port_per_gbps * KB
+                       * config.num_hosts * config.link_rate_bps / 1e9)
+    return single_switch_scenario(
+        scheme="dt",
+        config=config,
+        query_size_bytes=int(0.6 * buffer_bytes),
+        background_load=0.5,
+        name=f"perf_incast_single_switch_{tier}",
+    )
+
+
+def _websearch_leaf_spine(tier: str) -> ScenarioSpec:
+    if tier == "small":
+        config = get_scale("bench")
+    else:
+        # The experiments' "small" fabric (4 leaves x 4 spines x 16 hosts)
+        # with a compressed workload window: representative multi-switch ECMP
+        # traffic at a runtime that keeps repeated measurement practical.
+        config = replace(get_scale("small"), fabric_duration=0.006)
+    return leaf_spine_scenario(
+        scheme="dt",
+        config=config,
+        query_size_bytes=int(0.6 * config.fabric_buffer_bytes_per_port * 8),
+        background_load=0.6,
+        name=f"perf_websearch_leaf_spine_{tier}",
+    )
+
+
+def _dumbbell_burst(tier: str) -> ScenarioSpec:
+    # Occamy on a dumbbell: steady cross traffic keeps the bottleneck busy
+    # while a synchronized burst exercises the expulsion engine.
+    duration = 0.008 if tier == "small" else 0.04
+    return ScenarioSpec(
+        name=f"perf_dumbbell_burst_{tier}",
+        scheme=SchemeSpec("occamy", {"alpha": 4.0}),
+        topology=TopologySpec("dumbbell", {
+            "num_pairs": 4,
+            "edge_rate_bps": 10 * GBPS,
+            "ecn_threshold_bytes": 30_000,
+        }),
+        workloads=[
+            WorkloadSpec("burst",
+                         params={"burst_bytes": 60_000, "num_senders": 4,
+                                 "receiver_index": 4},
+                         rng_label="burst"),
+            WorkloadSpec("poisson",
+                         params={"load": 0.6, "load_scope": "aggregate",
+                                 "distribution": "websearch"},
+                         rng_label="bg"),
+        ],
+        transport=TransportSpec(),
+        duration=duration,
+    )
+
+
+def _raw_switch_stream(tier: str) -> ScenarioSpec:
+    # The fig11 shape: a long-lived 100 Gbps stream on port 0 plus a burst on
+    # port 1, packet-level, with queue tracing enabled (its recording cost is
+    # part of the measured pipeline).
+    duration = 500e-6 if tier == "small" else 2500e-6
+    return packet_burst_scenario(
+        scheme="occamy",
+        stream_specs=[
+            {"rate_bps": 100 * GBPS, "port": 0, "duration": duration},
+        ],
+        burst_specs=[
+            {"burst_bytes": 400 * KB, "rate_bps": 100 * GBPS, "port": 1,
+             "start_time": duration / 3},
+        ],
+        port_rate_bps=10 * GBPS,
+        buffer_bytes=2 * MB,
+        memory_bandwidth_bps=2 * 32 * 10 * GBPS,
+        duration=duration,
+        name=f"perf_raw_switch_stream_{tier}",
+    )
+
+
+_BUILDERS = {
+    "incast_single_switch": (
+        _incast_single_switch,
+        "DCTCP incast + websearch background on one switch (fig13 shape)",
+    ),
+    "websearch_leaf_spine": (
+        _websearch_leaf_spine,
+        "leaf-spine fabric with ECMP, incast + websearch (fig17 shape)",
+    ),
+    "dumbbell_burst": (
+        _dumbbell_burst,
+        "occamy on a dumbbell: cross traffic + synchronized burst",
+    ),
+    "raw_switch_stream": (
+        _raw_switch_stream,
+        "packet-level stream + burst on a bare switch (fig11 shape)",
+    ),
+}
+
+for _name, (_builder, _desc) in _BUILDERS.items():
+    for _tier in TIERS:
+        register_case(PerfCase(
+            name=_name,
+            tier=_tier,
+            build=(lambda b=_builder, t=_tier: b(t)),
+            description=_desc,
+        ))

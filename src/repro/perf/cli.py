@@ -1,0 +1,133 @@
+"""Command-line interface of the perf harness.
+
+Usage::
+
+    python -m repro.perf list
+    python -m repro.perf run [--scale small|medium|all] [--cases a,b]
+                             [--warmup N] [--reps N] [--output PATH]
+    python -m repro.perf compare baseline.json head.json [--fail-above PCT]
+    python -m repro.perf profile CASE_ID [--top N] [--sort KEY]
+
+``run`` writes a schema-versioned snapshot (default ``BENCH_perf.json``,
+or ``BENCH_perf_<scale>.json`` when a single scale is selected); ``compare``
+prints the per-case deltas and, with ``--fail-above``, exits nonzero on wall
+time regressions beyond the threshold -- the CI tripwire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.perf.cases import TIERS, available_cases, get_case
+from repro.perf.compare import compare_snapshots, evaluate_gate
+from repro.perf.harness import (
+    default_snapshot_path,
+    load_snapshot,
+    run_cases,
+    save_snapshot,
+)
+from repro.perf.profiling import SORT_KEYS, profile_case
+
+
+def _select_cases(scale: str, names: Optional[str]):
+    tier = None if scale == "all" else scale
+    cases = available_cases(tier=tier)
+    if names:
+        wanted = {n.strip() for n in names.split(",") if n.strip()}
+        unknown = wanted - {c.name for c in cases} - {c.case_id for c in cases}
+        if unknown:
+            raise KeyError(
+                f"unknown case(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted({c.name for c in cases}))}"
+            )
+        cases = [c for c in cases if c.name in wanted or c.case_id in wanted]
+    if not cases:
+        raise KeyError(f"no perf cases match scale={scale!r} cases={names!r}")
+    return cases
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    for case in available_cases():
+        print(f"{case.case_id:38} {case.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cases = _select_cases(args.scale, args.cases)
+
+    def progress(measurement) -> None:
+        print(f"[{measurement.case_id}: {measurement.wall_time_s:.4f}s, "
+              f"{measurement.events_per_sec:,.0f} events/s, "
+              f"{measurement.packets_per_sec:,.0f} packets/s]", flush=True)
+
+    snapshot = run_cases(cases, warmup=args.warmup, repetitions=args.reps,
+                         progress=progress)
+    output = Path(args.output) if args.output else default_snapshot_path(
+        args.scale if args.scale != "all" else None)
+    save_snapshot(snapshot, output)
+    print(f"snapshot written to {output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_snapshot(Path(args.baseline))
+    head = load_snapshot(Path(args.head))
+    report = compare_snapshots(baseline, head)
+    print(report.format_table())
+    return evaluate_gate(report, args.fail_above)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    case = get_case(args.case)
+    print(f"== {case.case_id} ({case.description}) ==")
+    print(profile_case(case, top=args.top, sort=args.sort))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered perf cases")
+
+    run_p = sub.add_parser("run", help="measure cases and write a snapshot")
+    run_p.add_argument("--scale", default="all", choices=list(TIERS) + ["all"],
+                       help="tier to run (default: all)")
+    run_p.add_argument("--cases", default=None,
+                       help="comma-separated case families or case ids")
+    run_p.add_argument("--warmup", type=int, default=1,
+                       help="unrecorded warmup runs per case (default: 1)")
+    run_p.add_argument("--reps", type=int, default=3,
+                       help="recorded repetitions per case (default: 3)")
+    run_p.add_argument("--output", default=None,
+                       help="snapshot path (default: BENCH_perf[_scale].json)")
+
+    cmp_p = sub.add_parser("compare", help="compare two snapshots")
+    cmp_p.add_argument("baseline", help="baseline snapshot path")
+    cmp_p.add_argument("head", help="head snapshot path")
+    cmp_p.add_argument("--fail-above", type=float, default=None,
+                       help="fail if any case's wall time regressed by more "
+                            "than this percentage")
+
+    prof_p = sub.add_parser("profile", help="cProfile one case")
+    prof_p.add_argument("case", help="case id (family/tier), e.g. "
+                                     "incast_single_switch/small")
+    prof_p.add_argument("--top", type=int, default=25,
+                        help="number of functions to print (default: 25)")
+    prof_p.add_argument("--sort", default="cumulative", choices=SORT_KEYS,
+                        help="pstats sort key (default: cumulative)")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run,
+                "compare": _cmd_compare, "profile": _cmd_profile}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

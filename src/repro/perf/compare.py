@@ -1,0 +1,117 @@
+"""Snapshot comparison: the CI regression tripwire and the speedup report.
+
+``compare_snapshots`` joins two snapshots on case id and reports, per shared
+case, the wall-time change and the events/sec speedup of head over baseline.
+``--fail-above <pct>`` turns the comparison into a gate: any shared case
+whose wall time regressed by more than ``pct`` percent fails the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CaseDelta:
+    """Head-vs-baseline deltas of one case."""
+
+    case_id: str
+    baseline_wall_s: float
+    head_wall_s: float
+    baseline_events_per_sec: float
+    head_events_per_sec: float
+    events_match: bool
+
+    @property
+    def wall_change_pct(self) -> float:
+        """Positive = head is slower (regression)."""
+        if self.baseline_wall_s <= 0:
+            return 0.0
+        return (self.head_wall_s / self.baseline_wall_s - 1.0) * 100.0
+
+    @property
+    def speedup(self) -> float:
+        """Events/sec ratio head / baseline (>1 = head is faster)."""
+        if self.baseline_events_per_sec <= 0:
+            return 0.0
+        return self.head_events_per_sec / self.baseline_events_per_sec
+
+
+@dataclass
+class ComparisonReport:
+    """All deltas plus the cases present in only one snapshot."""
+
+    deltas: List[CaseDelta]
+    only_in_baseline: List[str]
+    only_in_head: List[str]
+
+    def regressions(self, fail_above_pct: float) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.wall_change_pct > fail_above_pct]
+
+    def format_table(self) -> str:
+        header = (f"{'case':38} {'base_s':>9} {'head_s':>9} "
+                  f"{'wall%':>8} {'ev/s speedup':>13}")
+        lines = [header, "-" * len(header)]
+        for d in self.deltas:
+            note = "" if d.events_match else "  [event counts differ]"
+            lines.append(
+                f"{d.case_id:38} {d.baseline_wall_s:9.4f} {d.head_wall_s:9.4f} "
+                f"{d.wall_change_pct:+7.1f}% {d.speedup:12.2f}x{note}"
+            )
+        for case_id in self.only_in_baseline:
+            lines.append(f"{case_id:38} (missing from head snapshot)")
+        for case_id in self.only_in_head:
+            lines.append(f"{case_id:38} (new in head snapshot)")
+        return "\n".join(lines)
+
+
+def compare_snapshots(baseline: Dict[str, object],
+                      head: Dict[str, object]) -> ComparisonReport:
+    """Join two snapshot documents (see :mod:`repro.perf.harness`) by case."""
+    base_cases: Dict[str, dict] = baseline.get("cases", {})  # type: ignore[assignment]
+    head_cases: Dict[str, dict] = head.get("cases", {})  # type: ignore[assignment]
+    deltas: List[CaseDelta] = []
+    for case_id in sorted(set(base_cases) & set(head_cases)):
+        b, h = base_cases[case_id], head_cases[case_id]
+        deltas.append(CaseDelta(
+            case_id=case_id,
+            baseline_wall_s=float(b["wall_time_s"]),
+            head_wall_s=float(h["wall_time_s"]),
+            baseline_events_per_sec=float(b["events_per_sec"]),
+            head_events_per_sec=float(h["events_per_sec"]),
+            events_match=(b.get("events") == h.get("events")
+                          and b.get("packets") == h.get("packets")),
+        ))
+    return ComparisonReport(
+        deltas=deltas,
+        only_in_baseline=sorted(set(base_cases) - set(head_cases)),
+        only_in_head=sorted(set(head_cases) - set(base_cases)),
+    )
+
+
+def evaluate_gate(report: ComparisonReport,
+                  fail_above_pct: Optional[float]) -> int:
+    """Exit code of the compare command under an optional regression gate.
+
+    Two failure modes: a wall-time regression beyond the threshold, and an
+    event/packet-count mismatch.  The latter fails because a wall-time delta
+    measured against a different workload is meaningless -- a behavior change
+    snuck in and the baseline must be regenerated (after the golden tests
+    have blessed the change).
+    """
+    if fail_above_pct is None:
+        return 0
+    failed = False
+    for d in report.deltas:
+        if not d.events_match:
+            print(f"PERF GATE: {d.case_id} executed a different workload than "
+                  "the baseline (event/packet counts differ); regenerate the "
+                  "baseline snapshot once the behavior change is intended")
+            failed = True
+    for d in report.regressions(fail_above_pct):
+        print(f"PERF REGRESSION: {d.case_id} wall time "
+              f"{d.baseline_wall_s:.4f}s -> {d.head_wall_s:.4f}s "
+              f"({d.wall_change_pct:+.1f}% > {fail_above_pct:.1f}% allowed)")
+        failed = True
+    return 1 if failed else 0

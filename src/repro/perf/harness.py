@@ -1,0 +1,162 @@
+"""Executes perf cases and records schema-versioned snapshots.
+
+A measurement run executes each case's scenario ``warmup`` times unrecorded
+(to populate code caches, import state and allocator pools) and then
+``repetitions`` recorded times.  Wall time is the *minimum* over repetitions
+-- the standard benchmarking estimator for the noise-free cost, since
+interference can only slow a run down -- while every repetition is kept in
+the snapshot for inspection.  Besides wall time the harness records the
+discrete-event throughput (events/sec), packet throughput (packets/sec
+through the traffic managers) and the process peak RSS.
+
+Event and packet counts are deterministic for a given spec + seed (the
+harness asserts this across repetitions), so two snapshots of the same case
+are comparable event-for-event: a wall-time delta is a genuine speed change,
+never a workload change.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.cases import PerfCase
+from repro.scenario.runner import ScenarioRunner
+from repro.workloads import reset_workload_ids
+
+#: Bump when the snapshot layout changes incompatibly.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is a high-water mark: it only ever grows over the process
+    lifetime, so per-case values in one run share earlier cases' peaks.  It
+    is still the right CI tripwire -- a leak or blow-up in any case raises
+    the final number.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - ru_maxrss in bytes
+        return usage // 1024
+    return usage
+
+
+@dataclass
+class CaseMeasurement:
+    """The recorded metrics of one case."""
+
+    case_id: str
+    wall_time_s: float
+    events: int
+    packets: int
+    repetitions: List[float] = field(default_factory=list)
+    peak_rss_kb: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    @property
+    def packets_per_sec(self) -> float:
+        return self.packets / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "wall_time_s": self.wall_time_s,
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "packets": self.packets,
+            "packets_per_sec": round(self.packets_per_sec, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+            "repetitions_s": [round(r, 6) for r in self.repetitions],
+        }
+
+
+def _execute_once(case: PerfCase) -> tuple[float, int, int]:
+    """One timed execution; returns (seconds, events, packets)."""
+    spec = case.build()
+    runner = ScenarioRunner()
+    reset_workload_ids()
+    start = time.perf_counter()
+    result = runner.run(spec)
+    elapsed = time.perf_counter() - start
+    sim = result.topology.sim
+    packets = sum(s.stats.arrived_packets for s in result.switches())
+    return elapsed, sim.events_executed, packets
+
+
+def measure_case(case: PerfCase, warmup: int = 1,
+                 repetitions: int = 3) -> CaseMeasurement:
+    """Measure one case: ``warmup`` unrecorded runs + ``repetitions`` timed."""
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    for _ in range(warmup):
+        _execute_once(case)
+    times: List[float] = []
+    counts = set()
+    events = packets = 0
+    for _ in range(repetitions):
+        elapsed, events, packets = _execute_once(case)
+        times.append(elapsed)
+        counts.add((events, packets))
+    if len(counts) != 1:
+        raise RuntimeError(
+            f"case {case.case_id!r} is nondeterministic across repetitions: "
+            f"saw (events, packets) counts {sorted(counts)}"
+        )
+    return CaseMeasurement(
+        case_id=case.case_id,
+        wall_time_s=min(times),
+        events=events,
+        packets=packets,
+        repetitions=times,
+        peak_rss_kb=peak_rss_kb(),
+    )
+
+
+def run_cases(cases: Sequence[PerfCase], warmup: int = 1, repetitions: int = 3,
+              progress=None) -> Dict[str, object]:
+    """Measure every case and assemble a snapshot document."""
+    measurements: Dict[str, Dict[str, object]] = {}
+    for case in cases:
+        measurement = measure_case(case, warmup=warmup, repetitions=repetitions)
+        measurements[case.case_id] = measurement.to_dict()
+        if progress is not None:
+            progress(measurement)
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "warmup": warmup,
+        "repetitions": repetitions,
+        "cases": measurements,
+    }
+
+
+def save_snapshot(snapshot: Dict[str, object], path: Path) -> None:
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+
+
+def load_snapshot(path: Path) -> Dict[str, object]:
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version")
+    if version != SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError(
+            f"snapshot {path} has schema_version {version!r}; "
+            f"this build reads version {SNAPSHOT_SCHEMA_VERSION}"
+        )
+    return data
+
+
+def default_snapshot_path(scale: Optional[str] = None) -> Path:
+    """The conventional snapshot location (``BENCH_perf[_scale].json``)."""
+    suffix = f"_{scale}" if scale else ""
+    return Path(f"BENCH_perf{suffix}.json")

@@ -1,0 +1,38 @@
+"""cProfile integration: per-case hot-spot tables.
+
+``profile_case`` runs one case under :mod:`cProfile` and renders the top-N
+functions by the chosen sort key.  This is the "where is the time going"
+companion to the wall-clock harness: run it, optimize the top entries, then
+``run`` + ``compare`` to quantify the win.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.perf.cases import PerfCase
+from repro.scenario.runner import ScenarioRunner
+from repro.workloads import reset_workload_ids
+
+#: pstats sort keys accepted by the CLI.
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def profile_case(case: PerfCase, top: int = 25,
+                 sort: str = "cumulative") -> str:
+    """Profile one case and return the formatted top-``top`` table."""
+    if sort not in SORT_KEYS:
+        raise ValueError(f"unknown sort key {sort!r}; expected one of {SORT_KEYS}")
+    spec = case.build()
+    runner = ScenarioRunner()
+    reset_workload_ids()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner.run(spec)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return buffer.getvalue()

@@ -117,6 +117,33 @@ class ScenarioResult:
         row["expelled"] = self.total_expelled()
         return row
 
+    def to_dict(self) -> Dict[str, object]:
+        """A deterministic plain-dict form of the run's observable outcome.
+
+        Two executions of the same spec + seed must produce byte-identical
+        ``json.dumps(result.to_dict())`` output -- across processes and
+        regardless of what ran earlier -- which is exactly what the
+        determinism regression tests pin.  Includes the full spec, headline
+        summary, per-switch counters and the per-flow completion times.
+        """
+        doc: Dict[str, object] = {
+            "spec": self.spec.to_dict(),
+            "level": self.level,
+            "summary": self.summary_row(),
+            "switches": [s.stats.summary() for s in self.switches()],
+        }
+        if self.flow_stats is not None:
+            doc["flows"] = [
+                {
+                    "flow_id": record.flow_id,
+                    "start_time": record.start_time,
+                    "finish_time": record.finish_time,
+                }
+                for record in sorted(self.flow_stats.flows.values(),
+                                     key=lambda r: r.flow_id)
+            ]
+        return doc
+
     def to_experiment_result(self):
         """The summary row wrapped as an ExperimentResult (campaign layer)."""
         # Imported lazily: repro.experiments.common builds on this package.

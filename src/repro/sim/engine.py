@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event, EventQueue
@@ -29,21 +30,54 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
+        #: Cumulative count of events executed over the simulator's lifetime
+        #: (across multiple :meth:`run` calls; the perf harness reads it).
+        self.events_executed: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative or NaN.
+        """
         if delay < 0:
-            raise ValueError(f"cannot schedule in the past (delay={delay})")
+            raise ValueError(
+                f"cannot schedule into the past: delay={delay} (now={self.now})"
+            )
         return self._queue.push(self.now + delay, callback)
 
+    def schedule_fast(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Schedule a *non-cancellable* callback ``delay`` seconds from now.
+
+        The hot-path variant of :meth:`schedule`: no :class:`Event` object is
+        allocated, so the callback cannot be cancelled.  The simulation inner
+        loops (port/NIC serialization completions, link arrivals) use it; use
+        :meth:`schedule` whenever a handle is needed.
+        """
+        if delay < 0:
+            raise ValueError(
+                f"cannot schedule into the past: delay={delay} (now={self.now})"
+            )
+        time = self.now + delay
+        if time != time:  # fast NaN check without math.isnan
+            raise ValueError("cannot schedule an event at time NaN")
+        # Inlined EventQueue.push_callback: this is the single hottest
+        # scheduling call in the simulator, worth one fewer frame.
+        queue = self._queue
+        heappush(queue._heap, (time, next(queue._counter), callback))
+
     def at(self, time: float, callback: Callable[[], Any]) -> Event:
-        """Schedule ``callback`` at absolute simulation time ``time``."""
+        """Schedule ``callback`` at absolute simulation time ``time``.
+
+        Raises:
+            ValueError: if ``time`` lies before the current clock or is NaN.
+        """
         if time < self.now:
             raise ValueError(
-                f"cannot schedule in the past (time={time}, now={self.now})"
+                f"cannot schedule into the past: time={time} (now={self.now})"
             )
         return self._queue.push(time, callback)
 
@@ -69,29 +103,37 @@ class Simulator:
         executed = 0
         self._stopped = False
         self._running = True
+        queue = self._queue
+        pop_entry = queue.pop_entry
         try:
-            while self._queue:
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
                 if self._stopped:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                entry = pop_entry()
+                if entry is None:
+                    # Queue drained: advance the clock to the horizon.
+                    if until is not None and self.now < until:
+                        self.now = until
                     break
-                if until is not None and next_time > until:
+                event_time = entry[0]
+                if until is not None and event_time > until:
+                    # Beyond the horizon: put it back (it keeps its original
+                    # FIFO position) and advance the clock to the horizon.
+                    queue.reinsert(entry)
                     self.now = until
                     break
-                event = self._queue.pop()
-                if event is None:
-                    break
-                self.now = event.time
-                event.callback()
+                self.now = event_time
+                obj = entry[2]
+                if obj.__class__ is Event:
+                    obj.callback()
+                else:
+                    obj()
                 executed += 1
-            else:
-                if until is not None and self.now < until:
-                    self.now = until
         finally:
             self._running = False
+            self.events_executed += executed
         return executed
 
     def stop(self) -> None:

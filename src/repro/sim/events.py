@@ -1,20 +1,20 @@
 """Event queue primitives for the discrete-event kernel.
 
-The kernel is deliberately small: events are ``(time, sequence, callback)``
-tuples kept in a binary heap.  The sequence number breaks ties so that events
-scheduled at the same timestamp execute in FIFO order, which keeps simulations
-deterministic.
+The kernel is deliberately small: the queue is a binary heap of
+``(time, seq, event)`` tuples.  The sequence number breaks ties so that
+events scheduled at the same timestamp execute in FIFO order, which keeps
+simulations deterministic; storing plain tuples (rather than comparable
+event objects) keeps every heap comparison in C, which matters because heap
+maintenance dominates the kernel's cost at scale.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled event.
 
@@ -25,21 +25,31 @@ class Event:
         cancelled: events are cancelled lazily; the queue skips them on pop.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
         self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state}>"
 
 
 class EventQueue:
     """A binary-heap event queue with lazy cancellation."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -49,26 +59,74 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, time: float, callback: Callable[[], Any]) -> Event:
-        """Schedule ``callback`` at absolute ``time`` and return its Event."""
-        event = Event(time=time, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        """Schedule ``callback`` at absolute ``time`` and return its Event.
+
+        Raises:
+            ValueError: if ``time`` is NaN.  NaN compares false against
+                everything, so letting one in would silently corrupt the
+                heap ordering for every later event.
+        """
+        if time != time:  # fast NaN check without math.isnan
+            raise ValueError("cannot schedule an event at time NaN")
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
-    def pop(self) -> Optional[Event]:
-        """Pop the earliest non-cancelled event, or ``None`` when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+    def push_callback(self, time: float, callback: Callable[[], Any]) -> None:
+        """Schedule a *non-cancellable* callback at absolute ``time``.
+
+        The hot scheduling path: no :class:`Event` wrapper is allocated, the
+        bare callable sits in the heap entry.  Use :meth:`push` whenever the
+        caller may need to cancel.
+        """
+        if time != time:  # fast NaN check without math.isnan
+            raise ValueError("cannot schedule an event at time NaN")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def reinsert(self, entry: Tuple[float, int, Any]) -> None:
+        """Put a popped heap entry back, keeping its original FIFO position."""
+        heapq.heappush(self._heap, entry)
+
+    def pop_entry(self) -> Optional[Tuple[float, int, Any]]:
+        """Pop the earliest live heap entry ``(time, seq, event_or_callback)``.
+
+        Cancelled events are skipped.  The third element is either an
+        :class:`Event` (whose ``callback`` must be invoked) or a bare
+        callable pushed by :meth:`push_callback`.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            obj = entry[2]
+            if obj.__class__ is Event and obj.cancelled:
+                continue
+            return entry
         return None
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty.
+
+        Bare callbacks scheduled with :meth:`push_callback` are returned
+        wrapped in a fresh :class:`Event` so the public API stays uniform.
+        """
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        obj = entry[2]
+        if obj.__class__ is Event:
+            return obj
+        return Event(entry[0], entry[1], obj)
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest pending event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            obj = heap[0][2]
+            if obj.__class__ is Event and obj.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
 
     def clear(self) -> None:
         """Drop all pending events."""

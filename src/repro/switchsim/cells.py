@@ -21,16 +21,15 @@ test suite.
 from __future__ import annotations
 
 import itertools
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 from repro.switchsim.packet import Packet
 
 _pd_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketDescriptor:
     """A packet descriptor: packet metadata plus its allocated cell pointers."""
 
@@ -70,8 +69,14 @@ class CellPool:
             raise ValueError(
                 f"buffer of {buffer_bytes}B cannot hold a single {cell_bytes}B cell"
             )
-        #: Free cell pointer list (Figure 2); popping allocates, appending frees.
-        self._free_list: Deque[int] = deque(range(self.total_cells))
+        #: Free cell pointer list (Figure 2); popping allocates, appending
+        #: frees.  Kept as a stack (LIFO) so allocation and release are bulk
+        #: slice operations -- pointer identities carry no semantics, only
+        #: their count does.
+        self._free_list: List[int] = list(range(self.total_cells))
+        #: Memo of ``cells_for``: packet sizes repeat heavily (MTU, ACK, MSS
+        #: tails), so the ceil-division result is cached per distinct size.
+        self._cells_for_cache: dict[int, int] = {}
         #: Counters distinguishing data-memory accesses from pointer-only ops,
         #: used to verify that head drops never touch cell data memory.
         self.data_memory_reads = 0
@@ -100,9 +105,13 @@ class CellPool:
 
     def cells_for(self, size_bytes: int) -> int:
         """Number of cells required to store a ``size_bytes`` packet."""
-        if size_bytes <= 0:
-            raise ValueError("packet size must be positive")
-        return -(-size_bytes // self.cell_bytes)  # ceil division
+        cells = self._cells_for_cache.get(size_bytes)
+        if cells is None:
+            if size_bytes <= 0:
+                raise ValueError("packet size must be positive")
+            cells = -(-size_bytes // self.cell_bytes)  # ceil division
+            self._cells_for_cache[size_bytes] = cells
+        return cells
 
     def can_fit(self, size_bytes: int) -> bool:
         """Whether a packet of ``size_bytes`` fits in the free cells."""
@@ -119,9 +128,12 @@ class CellPool:
         path exists for defensive robustness).
         """
         needed = self.cells_for(packet.size_bytes)
-        if needed > self.free_cells:
+        free = self._free_list
+        remaining = len(free) - needed
+        if remaining < 0:
             return None
-        pointers = [self._free_list.popleft() for _ in range(needed)]
+        pointers = free[remaining:]
+        del free[remaining:]
         self.pointer_memory_ops += needed
         self.data_memory_writes += needed
         return PacketDescriptor(packet=packet, cell_pointers=pointers, enqueue_time=now)
@@ -147,7 +159,7 @@ class CellPool:
 
     def reset(self) -> None:
         """Return the pool to its pristine state (all cells free)."""
-        self._free_list = deque(range(self.total_cells))
+        self._free_list = list(range(self.total_cells))
         self.data_memory_reads = 0
         self.data_memory_writes = 0
         self.pointer_memory_ops = 0

@@ -9,7 +9,7 @@ from typing import Any, Dict
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet (or a raw traffic-manager cell burst in switch tests).
 

@@ -24,7 +24,17 @@ class EgressPort:
         self.rate_bps = rate_bps
         self.scheduler = scheduler
         self.queues: List[SwitchQueue] = []
+        self.single_queue: SwitchQueue | None = None
         self.busy = False
+        #: In-flight transmission state (valid while ``busy``): the queue the
+        #: packet came from, its descriptor and the serialization delay.  The
+        #: switch stores these here and schedules a single prebuilt bound
+        #: callback (``finish_callback``) instead of allocating a closure per
+        #: transmitted packet.
+        self.tx_queue: SwitchQueue | None = None
+        self.tx_descriptor = None
+        self.tx_delay = 0.0
+        self.finish_callback = None
         #: Cumulative transmitted statistics.
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
@@ -43,6 +53,9 @@ class EgressPort:
                 f"not {self.port_id}"
             )
         self.queues.append(queue)
+        #: With exactly one queue, scheduler selection degenerates to "serve
+        #: it if non-empty"; the switch uses this to skip the scheduler call.
+        self.single_queue = self.queues[0] if len(self.queues) == 1 else None
 
     def select_queue(self) -> Optional[SwitchQueue]:
         """Ask the scheduler for the next queue to serve."""

@@ -3,9 +3,17 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Protocol
 
 from repro.switchsim.cells import PacketDescriptor
+
+
+class ActivityListener(Protocol):
+    """Owner interested in empty<->non-empty transitions (the switch)."""
+
+    def queue_became_active(self, queue: "SwitchQueue") -> None: ...
+
+    def queue_became_inactive(self, queue: "SwitchQueue") -> None: ...
 
 
 class SwitchQueue:
@@ -24,7 +32,19 @@ class SwitchQueue:
             per-queue alpha configuration, used heavily in the paper's
             priority experiments).
         ecn_threshold_bytes: optional per-queue ECN marking threshold.
+        activity_listener: optional owner notified on every empty<->non-empty
+            transition; the switch uses it to maintain per-priority active
+            queue counts incrementally instead of rescanning all queues.
     """
+
+    __slots__ = (
+        "queue_id", "port_id", "class_index", "priority", "weight",
+        "alpha_override", "ecn_threshold_bytes", "activity_listener",
+        "_descriptors", "_length_bytes", "deficit_bytes", "_drain_rate",
+        "_last_dequeue_time", "enqueued_packets", "enqueued_bytes",
+        "dequeued_packets", "dequeued_bytes", "dropped_packets",
+        "dropped_bytes", "expelled_packets", "expelled_bytes",
+    )
 
     def __init__(
         self,
@@ -43,6 +63,7 @@ class SwitchQueue:
         self.weight = weight
         self.alpha_override = alpha_override
         self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.activity_listener: Optional[ActivityListener] = None
 
         self._descriptors: Deque[PacketDescriptor] = deque()
         self._length_bytes = 0
@@ -87,10 +108,15 @@ class SwitchQueue:
     # ------------------------------------------------------------------
     def push(self, descriptor: PacketDescriptor) -> None:
         """Append a descriptor at the tail (normal enqueue)."""
-        self._descriptors.append(descriptor)
-        self._length_bytes += descriptor.size_bytes
+        descriptors = self._descriptors
+        was_empty = not descriptors
+        descriptors.append(descriptor)
+        size = descriptor.packet.size_bytes
+        self._length_bytes += size
         self.enqueued_packets += 1
-        self.enqueued_bytes += descriptor.size_bytes
+        self.enqueued_bytes += size
+        if was_empty and self.activity_listener is not None:
+            self.activity_listener.queue_became_active(self)
 
     def peek_head(self) -> Optional[PacketDescriptor]:
         """The descriptor at the head of the queue, without removing it."""
@@ -101,18 +127,24 @@ class SwitchQueue:
 
     def pop_head(self) -> Optional[PacketDescriptor]:
         """Remove and return the head descriptor (dequeue or head drop)."""
-        if not self._descriptors:
+        descriptors = self._descriptors
+        if not descriptors:
             return None
-        descriptor = self._descriptors.popleft()
-        self._length_bytes -= descriptor.size_bytes
+        descriptor = descriptors.popleft()
+        self._length_bytes -= descriptor.packet.size_bytes
+        if not descriptors and self.activity_listener is not None:
+            self.activity_listener.queue_became_inactive(self)
         return descriptor
 
     def pop_tail(self) -> Optional[PacketDescriptor]:
         """Remove and return the tail descriptor (classic pushout eviction)."""
-        if not self._descriptors:
+        descriptors = self._descriptors
+        if not descriptors:
             return None
-        descriptor = self._descriptors.pop()
-        self._length_bytes -= descriptor.size_bytes
+        descriptor = descriptors.pop()
+        self._length_bytes -= descriptor.packet.size_bytes
+        if not descriptors and self.activity_listener is not None:
+            self.activity_listener.queue_became_inactive(self)
         return descriptor
 
     # ------------------------------------------------------------------
@@ -122,12 +154,13 @@ class SwitchQueue:
         """Update counters and the drain-rate estimate after a transmission."""
         self.dequeued_packets += 1
         self.dequeued_bytes += size_bytes
-        if self._last_dequeue_time is not None:
-            delta = now - self._last_dequeue_time
+        last = self._last_dequeue_time
+        if last is not None:
+            delta = now - last
             if delta > 0:
-                instantaneous = size_bytes / delta
                 # EWMA with a modest gain: responsive but not jittery.
-                self._drain_rate = 0.8 * self._drain_rate + 0.2 * instantaneous
+                self._drain_rate = (0.8 * self._drain_rate
+                                    + 0.2 * (size_bytes / delta))
         self._last_dequeue_time = now
 
     def record_drop(self, size_bytes: int, expelled: bool = False) -> None:
@@ -141,9 +174,12 @@ class SwitchQueue:
 
     def clear(self) -> None:
         """Empty the queue (used by tests and switch reset)."""
+        was_active = bool(self._descriptors)
         self._descriptors.clear()
         self._length_bytes = 0
         self.deficit_bytes = 0.0
+        if was_active and self.activity_listener is not None:
+            self.activity_listener.queue_became_inactive(self)
 
     def __len__(self) -> int:
         return len(self._descriptors)

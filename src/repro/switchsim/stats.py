@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Deque, Dict, List, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueTraceSample:
     """One sample of a queue-length trace (used for Figures 3 and 11)."""
 
@@ -24,19 +24,23 @@ class RateWindow:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
-        self._samples: List[Tuple[float, int]] = []
+        self._samples: Deque[Tuple[float, int]] = deque()
         self._total = 0
 
     def record(self, now: float, nbytes: int) -> None:
-        self._samples.append((now, nbytes))
-        self._total += nbytes
-        self._evict(now)
+        samples = self._samples
+        samples.append((now, nbytes))
+        total = self._total + nbytes
+        cutoff = now - self.window
+        while samples[0][0] < cutoff:
+            total -= samples.popleft()[1]
+        self._total = total
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.window
-        while self._samples and self._samples[0][0] < cutoff:
-            _, nbytes = self._samples.pop(0)
-            self._total -= nbytes
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            self._total -= samples.popleft()[1]
 
     def rate_bytes_per_sec(self, now: float) -> float:
         self._evict(now)

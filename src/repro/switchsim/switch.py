@@ -8,8 +8,10 @@ preemptive schemes -- an expulsion engine fed by redundant memory bandwidth.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.base import AdmissionDecision, BufferManager, EvictionRequest
 from repro.core.expulsion import ExpulsionEngine, TokenBucket
@@ -118,6 +120,12 @@ class SharedMemorySwitch:
         self.cell_pool = CellPool(config.buffer_bytes, config.cell_bytes)
         self.stats = SwitchStats(trace_queues=config.trace_queues)
 
+        # Incrementally maintained active-queue counts (total and keyed by
+        # priority), updated through the queues' activity listener instead of
+        # rescanning every queue on each ABM admission decision.
+        self._active_total = 0
+        self._active_by_priority: Dict[int, int] = defaultdict(int)
+
         # Build ports and queues. Queue ids are globally unique and dense so
         # they can index bitmaps directly.
         self.ports: List[EgressPort] = []
@@ -125,6 +133,9 @@ class SharedMemorySwitch:
         for port_id in range(config.num_ports):
             scheduler = make_scheduler(config.scheduler, config.drr_quantum_bytes)
             port = EgressPort(port_id, config.port_rate_bps, scheduler)
+            # One prebuilt bound callback per port: the inner transmit loop
+            # schedules it directly instead of allocating a closure per packet.
+            port.finish_callback = partial(self._finish_transmit, port)
             for class_index in range(config.queues_per_port):
                 queue = SwitchQueue(
                     queue_id=len(self._queues),
@@ -133,6 +144,7 @@ class SharedMemorySwitch:
                     priority=class_index,
                     ecn_threshold_bytes=config.ecn_threshold_bytes,
                 )
+                queue.activity_listener = self
                 port.add_queue(queue)
                 self._queues.append(queue)
             self.ports.append(port)
@@ -140,6 +152,18 @@ class SharedMemorySwitch:
         # Memory bandwidth accounting: a sliding window over cell-data reads
         # and writes, compared against the total memory bandwidth.
         self._memory_rate = RateWindow(window=50e-6)
+
+        # Hook elision: the on_enqueue/on_dequeue bookkeeping hooks are
+        # no-ops for every built-in scheme; only call them when a scheme
+        # actually overrides them.
+        self._mgr_on_enqueue = (
+            manager.on_enqueue
+            if type(manager).on_enqueue is not BufferManager.on_enqueue
+            else None)
+        self._mgr_on_dequeue = (
+            manager.on_dequeue
+            if type(manager).on_dequeue is not BufferManager.on_dequeue
+            else None)
 
         # Expulsion engine for Occamy-style schemes.
         self.expulsion_engine: Optional[ExpulsionEngine] = None
@@ -221,15 +245,23 @@ class SharedMemorySwitch:
         return self.ports[port_id].rate_bytes_per_sec
 
     def active_queue_count(self, priority: Optional[int] = None) -> int:
-        """Number of non-empty queues, optionally restricted to a priority."""
-        count = 0
-        for queue in self._queues:
-            if not queue.is_active:
-                continue
-            if priority is not None and queue.priority != priority:
-                continue
-            count += 1
-        return count
+        """Number of non-empty queues, optionally restricted to a priority.
+
+        O(1): the counts are maintained incrementally on every enqueue /
+        dequeue / drop through the queues' activity listener.
+        """
+        if priority is None:
+            return self._active_total
+        return self._active_by_priority[priority]
+
+    # -- ActivityListener protocol (called by SwitchQueue) --------------
+    def queue_became_active(self, queue: SwitchQueue) -> None:
+        self._active_total += 1
+        self._active_by_priority[queue.priority] += 1
+
+    def queue_became_inactive(self, queue: SwitchQueue) -> None:
+        self._active_total -= 1
+        self._active_by_priority[queue.priority] -= 1
 
     def cells_for_bytes(self, nbytes: int) -> int:
         return self.cell_pool.cells_for(nbytes)
@@ -267,6 +299,7 @@ class SharedMemorySwitch:
         Returns True if the packet was admitted into the buffer.
         """
         now = self.sim.now
+        size = packet.size_bytes
         if not 0 <= out_port_id < len(self.ports):
             raise ValueError(f"invalid egress port {out_port_id}")
         queue = (
@@ -274,14 +307,16 @@ class SharedMemorySwitch:
             if class_index is not None
             else self.classify(packet, out_port_id)
         )
-        self.stats.record_arrival(packet.size_bytes)
+        stats = self.stats
+        stats.arrived_packets += 1
+        stats.arrived_bytes += size
 
-        decision = self.manager.admit(queue, packet.size_bytes, now)
+        decision = self.manager.admit(queue, size, now)
         if decision.accept and decision.evictions:
             self._execute_evictions(decision.evictions, now)
-        if decision.accept and not self.cell_pool.can_fit(packet.size_bytes):
-            # Defensive re-check: evictions may have freed less than planned.
-            decision = AdmissionDecision(False, reason="buffer_full")
+            if not self.cell_pool.can_fit(size):
+                # Defensive re-check: evictions may have freed less than planned.
+                decision = AdmissionDecision(False, reason="buffer_full")
 
         if not decision.accept:
             self._drop_arrival(queue, packet, decision.reason or "dropped", now)
@@ -289,30 +324,32 @@ class SharedMemorySwitch:
             return False
 
         descriptor = self.cell_pool.allocate(packet, now)
-        if descriptor is None:  # pragma: no cover - guarded by can_fit above
+        if descriptor is None:  # pragma: no cover - admit checked the fit
             self._drop_arrival(queue, packet, "buffer_full", now)
             return False
 
-        self._mark_ecn_if_needed(packet, queue, now)
+        threshold = queue.ecn_threshold_bytes
+        if (threshold is not None and packet.ecn_capable
+                and queue.length_bytes + size > threshold
+                and not packet.ecn_marked):
+            packet.ecn_marked = True
+            stats.ecn_marked_packets += 1
         queue.push(descriptor)
-        self.manager.on_enqueue(queue, packet.size_bytes, now)
-        self.stats.record_admission(packet.size_bytes)
-        self.stats.record_occupancy(self.occupancy_bytes)
-        self._memory_rate.record(now, packet.size_bytes)
-        self._trace(queue, now)
+        if self._mgr_on_enqueue is not None:
+            self._mgr_on_enqueue(queue, size, now)
+        stats.admitted_packets += 1
+        stats.admitted_bytes += size
+        occupancy = self.cell_pool.used_bytes
+        if occupancy > stats.max_occupancy_bytes:
+            stats.max_occupancy_bytes = occupancy
+        self._memory_rate.record(now, size)
+        if stats.trace_queues:
+            self._trace(queue, now)
 
         self._try_transmit(self.ports[queue.port_id])
-        self._maybe_expel(now)
+        if self.expulsion_engine is not None:
+            self._maybe_expel(now)
         return True
-
-    def _mark_ecn_if_needed(self, packet: Packet, queue: SwitchQueue, now: float) -> None:
-        threshold = queue.ecn_threshold_bytes
-        if threshold is None or not packet.ecn_capable:
-            return
-        if queue.length_bytes + packet.size_bytes > threshold:
-            if not packet.ecn_marked:
-                packet.ecn_marked = True
-                self.stats.record_ecn_mark()
 
     def _drop_arrival(self, queue: SwitchQueue, packet: Packet, reason: str,
                       now: float) -> None:
@@ -349,40 +386,62 @@ class SharedMemorySwitch:
     def _try_transmit(self, port: EgressPort) -> None:
         if port.busy:
             return
-        queue = port.select_queue()
-        if queue is None:
-            return
-        descriptor = queue.pop_head()
-        if descriptor is None:  # pragma: no cover - scheduler picked active queue
-            return
+        queue = port.single_queue
+        if queue is not None:
+            # Single-queue port: any scheduler serves the one queue, so the
+            # selection step collapses into the dequeue itself.
+            descriptor = queue.pop_head()
+            if descriptor is None:
+                return
+        else:
+            queue = port.select_queue()
+            if queue is None:
+                return
+            descriptor = queue.pop_head()
+            if descriptor is None:  # pragma: no cover - scheduler picked active queue
+                return
         port.busy = True
-        delay = port.serialization_delay(descriptor.size_bytes)
-        self.sim.schedule(
-            delay, lambda p=port, q=queue, d=descriptor, dl=delay: self._finish_transmit(p, q, d, dl)
-        )
+        delay = port.serialization_delay(descriptor.packet.size_bytes)
+        # The in-flight state lives on the port (one transmission at a time);
+        # the scheduled callback is the port's prebuilt bound method, so the
+        # inner transmit loop allocates no closures.
+        port.tx_queue = queue
+        port.tx_descriptor = descriptor
+        port.tx_delay = delay
+        self.sim.schedule_fast(delay, port.finish_callback)
 
-    def _finish_transmit(self, port: EgressPort, queue: SwitchQueue,
-                         descriptor: PacketDescriptor, delay: float) -> None:
+    def _finish_transmit(self, port: EgressPort) -> None:
+        queue: SwitchQueue = port.tx_queue
+        descriptor: PacketDescriptor = port.tx_descriptor
+        delay = port.tx_delay
+        port.tx_queue = None
+        port.tx_descriptor = None
         now = self.sim.now
-        size = descriptor.size_bytes
+        size = descriptor.packet.size_bytes
         self.cell_pool.release(descriptor, read_data=True)
         queue.record_dequeue(size, now)
-        self.manager.on_dequeue(queue, size, now)
-        self.stats.record_transmit(size)
+        if self._mgr_on_dequeue is not None:
+            self._mgr_on_dequeue(queue, size, now)
+        stats = self.stats
+        stats.transmitted_packets += 1
+        stats.transmitted_bytes += size
         self._memory_rate.record(now, size)
-        if self.expulsion_engine is not None:
-            cells = self.cells_for_bytes(size)
-            self.expulsion_engine.token_bucket.consume_forwarding(cells, now)
+        engine = self.expulsion_engine
+        if engine is not None:
+            cells = self.cell_pool.cells_for(size)
+            engine.token_bucket.consume_forwarding(cells, now)
         port.transmitted_packets += 1
         port.transmitted_bytes += size
         port.busy_time += delay
         port.last_tx_end = now
         port.busy = False
-        self._trace(queue, now)
+        if stats.trace_queues:
+            self._trace(queue, now)
         if self.on_transmit is not None:
             self.on_transmit(descriptor.packet, port.port_id)
         self._try_transmit(port)
-        self._maybe_expel(now)
+        if engine is not None:
+            self._maybe_expel(now)
 
     # ------------------------------------------------------------------
     # Head drop (expulsion executor)

@@ -21,7 +21,7 @@ def reset_flow_ids() -> None:
     _flow_spec_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowSpec:
     """A single flow to be injected into the network simulator.
 

@@ -55,6 +55,21 @@ class TestDynamicThreshold:
         q1.alpha_override = 8.0
         assert dt.threshold(q1, 0.0) == pytest.approx(8 * dt.threshold(q0, 0.0))
 
+    def test_negative_alpha_override_clamps_to_zero(self):
+        # clamp_threshold used to absorb non-positive per-queue overrides;
+        # the inlined hot path must preserve that: threshold 0, everything
+        # rejected over-threshold, and empty queues never "over-allocated"
+        # (a negative threshold would make the expulsion engine spin).
+        dt = DynamicThreshold(alpha=1.0)
+        switch, _ = make_switch(dt, num_ports=2)
+        queue = switch.queue_for(0)
+        queue.alpha_override = -3.0
+        assert dt.threshold(queue, 0.0) == 0.0
+        decision = dt.admit(queue, 100, 0.0)
+        assert not decision.accept and decision.reason == "over_threshold"
+        assert not dt.over_allocated(queue, 0.0)
+        assert dt.over_allocated_flags(switch.queue_views(), 0.0) == [False, False]
+
     def test_steady_state_formulas(self):
         dt = DynamicThreshold(alpha=8.0)
         buffer_bytes = 900 * KB

@@ -1,0 +1,96 @@
+"""Determinism regression tests.
+
+Same ScenarioSpec + seed must produce byte-identical
+``json.dumps(ScenarioResult.to_dict())`` output:
+
+* across repeated runs in one process (guarded by ``reset_workload_ids`` --
+  flow ids feed the ECMP path hash, so the id-counter reset from PR 1 is
+  load-bearing here);
+* across serial vs ``--jobs 2`` campaign execution (worker processes must
+  not leak state into results);
+* across two fresh interpreter processes (no hidden dependence on hash
+  randomization, import order or allocator state).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.spec import RunSpec
+from repro.scenario import ScenarioSpec, run_scenario
+from repro.workloads import reset_workload_ids
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SRC_DIR = Path(__file__).parent.parent / "src"
+
+
+def _spec() -> ScenarioSpec:
+    # The dumbbell-burst example exercises two switches, ECMP-free routing,
+    # two transports and the occamy expulsion engine in ~100 ms of wall time.
+    spec = ScenarioSpec.from_file(EXAMPLES_DIR / "scenario_dumbbell_burst.json")
+    spec.duration = 0.002
+    return spec
+
+
+def _run_to_json() -> str:
+    reset_workload_ids()
+    return json.dumps(run_scenario(_spec()).to_dict(), sort_keys=True)
+
+
+def test_same_spec_same_seed_byte_identical_in_process():
+    assert _run_to_json() == _run_to_json()
+
+
+def test_result_to_dict_round_trips_through_json():
+    document = json.loads(_run_to_json())
+    assert document["level"] == "network"
+    assert document["spec"]["seed"] == _spec().seed
+    assert document["flows"], "expected per-flow records"
+
+
+def test_serial_vs_parallel_campaign_identical():
+    document = _spec().to_dict()
+    specs = [
+        RunSpec(experiment="scenario", scale="-", seed=seed,
+                params={"scenario": document})
+        for seed in (0, 1)
+    ]
+    serial = CampaignExecutor(jobs=1).run(specs)
+    parallel = CampaignExecutor(jobs=2).run(specs)
+    assert all(outcome.ok for outcome in serial)
+    assert all(outcome.ok for outcome in parallel)
+    serial_docs = [json.dumps(o.result.to_dict(), sort_keys=True) for o in serial]
+    parallel_docs = [json.dumps(o.result.to_dict(), sort_keys=True)
+                     for o in parallel]
+    assert serial_docs == parallel_docs
+
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.scenario import ScenarioSpec, run_scenario
+from repro.workloads import reset_workload_ids
+
+spec = ScenarioSpec.from_file(sys.argv[1])
+spec.duration = 0.002
+reset_workload_ids()
+print(json.dumps(run_scenario(spec).to_dict(), sort_keys=True))
+"""
+
+
+def test_two_fresh_processes_byte_identical():
+    def run_child() -> str:
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT,
+             str(EXAMPLES_DIR / "scenario_dumbbell_burst.json")],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(SRC_DIR), "PYTHONHASHSEED": "random"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    first = run_child()
+    assert first == run_child()
+    # The fresh processes also agree with an in-process run.
+    assert first.strip() == _run_to_json()

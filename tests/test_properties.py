@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core import DynamicThreshold, Occamy, Pushout
+from repro.core import ABM, DynamicThreshold, Occamy, Pushout
 from repro.core.expulsion import RoundRobinPointer, TokenBucket
 from repro.hw import MaximumFinder, RoundRobinArbiterCircuit
 from repro.metrics.percentiles import cdf_points, mean, percentile
@@ -218,3 +218,160 @@ def test_switch_packet_conservation_property(scheme, arrivals):
     )
     # Buffer fully drains once all arrivals are processed.
     assert switch.occupancy_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# PR-3 invariant batteries guarding the hot-path rewrite
+# ----------------------------------------------------------------------
+def _make_manager(scheme: str):
+    return {"dt": DynamicThreshold(alpha=1.0),
+            "abm": ABM(alpha=2.0),
+            "occamy": Occamy(alpha=8.0),
+            "pushout": Pushout()}[scheme]
+
+
+def _assert_buffer_conserved(switch) -> None:
+    """Cell accounting invariants that must hold at every instant."""
+    pool = switch.cell_pool
+    # Cell conservation: every cell is either free or used, never negative.
+    assert pool.used_cells + pool.free_cells == pool.total_cells
+    assert 0 <= pool.used_cells <= pool.total_cells
+    # Occupancy never exceeds capacity.
+    assert switch.occupancy_bytes <= switch.buffer_size_bytes
+    # The switch occupancy equals the cell-granular footprint of exactly the
+    # descriptors resident in its queues plus any in-flight transmissions
+    # (an in-flight packet's cells are freed when serialization completes).
+    resident_cells = 0
+    for queue in switch.queue_views():
+        assert queue.length_bytes >= 0
+        for descriptor in queue._descriptors:
+            resident_cells += pool.cells_for(descriptor.packet.size_bytes)
+    for port in switch.ports:
+        if port.busy and port.tx_descriptor is not None:
+            resident_cells += len(port.tx_descriptor.cell_pointers)
+    assert pool.used_cells == resident_cells
+    # Byte-level view: queued bytes never exceed the cell-granular occupancy.
+    assert switch.total_backlog_bytes() <= switch.occupancy_bytes
+
+
+@given(
+    scheme=st.sampled_from(["dt", "abm", "occamy", "pushout"]),
+    arrivals=st.lists(
+        st.tuples(st.integers(min_value=64, max_value=3000),
+                  st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=60),
+    step=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_buffer_conservation_under_randomized_traffic(scheme, arrivals, step):
+    """Sum of queue occupancies == switch occupancy, never above capacity.
+
+    The simulation is advanced a few events at a time so the invariant is
+    checked at many interleavings of enqueue, dequeue and expulsion -- not
+    just at quiescence.
+    """
+    sim = Simulator()
+    config = SwitchConfig(num_ports=4, port_rate_bps=10 * GBPS,
+                          buffer_bytes=24 * KB)
+    switch = SharedMemorySwitch(config, _make_manager(scheme), sim)
+    for i, (size, port) in enumerate(arrivals):
+        sim.schedule(i * 2e-7,
+                     lambda s=size, p=port: switch.receive(Packet(size_bytes=s), p))
+    while sim.pending_events:
+        sim.run(max_events=step)
+        _assert_buffer_conserved(switch)
+    _assert_buffer_conserved(switch)
+    assert switch.occupancy_bytes == 0
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=1e-3,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_simulator_clock_is_monotone(delays):
+    """The virtual clock never runs backwards, including nested scheduling."""
+    sim = Simulator()
+    observed = []
+
+    def observe_and_reschedule(extra):
+        observed.append(sim.now)
+        if extra > 0:
+            sim.schedule(extra, lambda: observed.append(sim.now))
+
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: observe_and_reschedule(d / 2))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == max(observed)
+
+
+@given(
+    scheme=st.sampled_from(["dt", "abm", "occamy"]),
+    arrivals=st.lists(
+        st.tuples(st.integers(min_value=64, max_value=3000),
+                  st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=50),
+    probe_bytes=st.integers(min_value=64, max_value=3000),
+    probe_port=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_admission_idempotence(scheme, arrivals, probe_bytes, probe_port):
+    """``admit`` is a pure function of switch state for DT/ABM/Occamy.
+
+    Asking the same question twice (without any intervening enqueue or
+    dequeue) must return the same decision and leave thresholds unchanged,
+    at every point of a randomized enqueue/dequeue sequence.
+    """
+    sim = Simulator()
+    config = SwitchConfig(num_ports=4, port_rate_bps=10 * GBPS,
+                          buffer_bytes=24 * KB)
+    manager = _make_manager(scheme)
+    switch = SharedMemorySwitch(config, manager, sim)
+    for i, (size, port) in enumerate(arrivals):
+        sim.schedule(i * 2e-7,
+                     lambda s=size, p=port: switch.receive(Packet(size_bytes=s), p))
+    while True:
+        queue = switch.queue_for(probe_port)
+        threshold_a = manager.threshold(queue, sim.now)
+        first = manager.admit(queue, probe_bytes, sim.now)
+        second = manager.admit(queue, probe_bytes, sim.now)
+        threshold_b = manager.threshold(queue, sim.now)
+        assert first.accept == second.accept
+        assert first.reason == second.reason
+        assert threshold_a == threshold_b
+        if not sim.pending_events:
+            break
+        sim.run(max_events=5)
+
+
+@given(
+    scheme=st.sampled_from(["dt", "abm", "occamy", "pushout"]),
+    arrivals=st.lists(
+        st.tuples(st.integers(min_value=64, max_value=3000),
+                  st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=1)),
+        min_size=1, max_size=60),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_active_counts_match_rescan(scheme, arrivals):
+    """The O(1) active-queue counters agree with a full rescan at all times."""
+    sim = Simulator()
+    config = SwitchConfig(num_ports=4, queues_per_port=2,
+                          port_rate_bps=10 * GBPS, buffer_bytes=24 * KB)
+    switch = SharedMemorySwitch(config, _make_manager(scheme), sim)
+    for i, (size, port, cls) in enumerate(arrivals):
+        sim.schedule(i * 2e-7,
+                     lambda s=size, p=port, c=cls: switch.receive(
+                         Packet(size_bytes=s), p, class_index=c))
+    while True:
+        expected_total = sum(1 for q in switch.queue_views() if q.is_active)
+        assert switch.active_queue_count() == expected_total
+        for priority in (0, 1):
+            expected = sum(1 for q in switch.queue_views()
+                           if q.is_active and q.priority == priority)
+            assert switch.active_queue_count(priority) == expected
+        if not sim.pending_events:
+            break
+        sim.run(max_events=3)

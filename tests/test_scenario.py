@@ -382,3 +382,35 @@ class TestLegacyEquivalence:
         reset_workload_ids()
         result = fig03_dt_behavior.run(scale="bench", seed=0)
         assert result.to_dict() == _golden("fig03")
+
+
+class TestHotPathEquivalence:
+    """Goldens captured before the PR-3 hot-path optimizations.
+
+    Together with :class:`TestLegacyEquivalence` these pin seven figures
+    spanning every optimized layer: the packet-level switch pipeline and
+    expulsion engine (fig11/fig12), the single-switch transport stack
+    (fig03/fig06/fig13), and the ECMP leaf-spine fabric (fig17/fig19).  Any
+    behaviour change in the simulation core shows up as a row diff here.
+    """
+
+    def test_fig11_bench_row_for_row(self):
+        from repro.experiments import fig11_queue_evolution
+
+        reset_workload_ids()
+        result = fig11_queue_evolution.run(scale="bench", seed=0)
+        assert result.to_dict() == _golden("fig11")
+
+    def test_fig12_bench_row_for_row(self):
+        from repro.experiments import fig12_burst_absorption
+
+        reset_workload_ids()
+        result = fig12_burst_absorption.run(scale="bench", seed=0)
+        assert result.to_dict() == _golden("fig12")
+
+    def test_fig19_bench_row_for_row(self):
+        from repro.experiments import fig19_all_reduce
+
+        reset_workload_ids()
+        result = fig19_all_reduce.run(scale="bench", seed=0)
+        assert result.to_dict() == _golden("fig19")

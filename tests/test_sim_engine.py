@@ -128,3 +128,89 @@ class TestSimulator:
         sim.reset()
         assert sim.now == 0.0
         assert sim.pending_events == 0
+
+
+class TestSchedulingErrors:
+    """Unified error formatting plus NaN rejection (would corrupt the heap)."""
+
+    def test_schedule_and_at_error_messages_are_consistent(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match=r"cannot schedule into the past: "
+                                             r"delay=-1.0 \(now=1.0\)"):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError, match=r"cannot schedule into the past: "
+                                             r"time=0.5 \(now=1.0\)"):
+            sim.at(0.5, lambda: None)
+
+    def test_event_queue_rejects_nan_timestamp(self):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="NaN"):
+            q.push(float("nan"), lambda: None)
+        with pytest.raises(ValueError, match="NaN"):
+            q.push_callback(float("nan"), lambda: None)
+        assert len(q) == 0  # nothing was half-inserted
+
+    def test_simulator_rejects_nan_everywhere(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="NaN"):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(ValueError, match="NaN"):
+            sim.schedule_fast(float("nan"), lambda: None)
+        with pytest.raises(ValueError, match="NaN"):
+            sim.at(float("nan"), lambda: None)
+        assert sim.pending_events == 0
+
+    def test_nan_does_not_corrupt_ordering_of_existing_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1.0))
+        with pytest.raises(ValueError):
+            sim.schedule(float("nan"), lambda: fired.append(float("nan")))
+        sim.schedule(2.0, lambda: fired.append(2.0))
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestFastScheduling:
+    def test_schedule_fast_interleaves_with_events_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("event"))
+        sim.schedule_fast(1.0, lambda: order.append("fast"))
+        sim.schedule_fast(0.5, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "event", "fast"]
+
+    def test_schedule_fast_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="cannot schedule into the past"):
+            sim.schedule_fast(-0.1, lambda: None)
+
+    def test_pop_wraps_bare_callbacks_as_events(self):
+        q = EventQueue()
+        q.push_callback(1.0, lambda: "x")
+        event = q.pop()
+        assert event is not None
+        assert event.time == 1.0
+        assert event.callback() == "x"
+
+    def test_run_until_preserves_deferred_fast_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fast(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert fired == [] and sim.now == 5.0
+        sim.run()
+        assert fired == ["late"] and sim.now == 10.0
+
+    def test_events_executed_accumulates(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+        sim.schedule(6.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 6
