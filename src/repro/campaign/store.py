@@ -70,7 +70,11 @@ class StoreEntry:
             spec=RunSpec.from_dict(data["spec"]),
             status=str(data["status"]),
             elapsed=float(data.get("elapsed", 0.0)),
-            result=ExperimentResult.from_dict(result) if result else None,
+            # ``is not None``, not truthiness: an ok run whose result dict is
+            # empty/falsy (e.g. no rows captured) must still round-trip as a
+            # result object, or --resume silently drops it from reports.
+            result=(ExperimentResult.from_dict(result)
+                    if result is not None else None),
             error=data.get("error"),
             traceback=data.get("traceback"),
             created_unix=float(data.get("created_unix", 0.0)),

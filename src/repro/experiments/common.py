@@ -114,9 +114,13 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
-        """Rebuild a result from :meth:`to_dict` output."""
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Every field defaults, so even a bare ``{}`` (a legitimately empty
+        result artifact) rebuilds into an empty result instead of raising.
+        """
         return cls(
-            experiment=str(data["experiment"]),
+            experiment=str(data.get("experiment", "")),
             rows=[dict(row) for row in data.get("rows", [])],
             notes=str(data.get("notes", "")),
         )

@@ -46,19 +46,29 @@ def summarize(values: Sequence[float]) -> dict:
 
 
 def cdf_points(values: Iterable[float], num_points: int = 100) -> List[Tuple[float, float]]:
-    """Return ``(value, cumulative_probability)`` pairs for plotting a CDF."""
+    """Return ``(value, cumulative_probability)`` pairs for plotting a CDF.
+
+    Emits exactly ``min(len(values), num_points)`` points whose ranks are
+    spread evenly across the sorted sample and always include both the
+    minimum and the maximum (the latter at probability 1.0).  The even index
+    schedule replaces a truncating integer stride that could emit up to
+    twice the requested points and sampled the tail unevenly for awkward
+    sample sizes.
+    """
     data = sorted(values)
     if not data:
         return []
     if num_points <= 0:
         raise ValueError("num_points must be positive")
-    points: List[Tuple[float, float]] = []
     n = len(data)
-    step = max(1, n // num_points)
-    for i in range(0, n, step):
-        points.append((data[i], (i + 1) / n))
-    if points[-1][0] != data[-1]:
-        points.append((data[-1], 1.0))
-    else:
-        points[-1] = (data[-1], 1.0)
+    m = min(n, num_points)
+    if m == 1:
+        return [(data[-1], 1.0)]
+    points: List[Tuple[float, float]] = []
+    for j in range(m):
+        # j-th of m ranks evenly spaced over [0, n-1]; strictly increasing
+        # because (n-1)/(m-1) >= 1, with j == 0 on the min and j == m-1 on
+        # the max.
+        idx = round(j * (n - 1) / (m - 1))
+        points.append((data[idx], (idx + 1) / n))
     return points

@@ -1,8 +1,19 @@
-"""Routing tables for switch nodes, including ECMP over uplinks."""
+"""Routing tables for switch nodes, including ECMP over uplinks.
+
+Besides the per-switch :class:`EcmpRoutingTable`, this module provides the
+fabric-level helpers multi-stage topologies (leaf-spine, fat-tree) build on:
+
+* :func:`trace_path` -- the concrete switch path one flow's packets take,
+  resolved hop by hop through the same hash the data path uses;
+* :class:`PathEnumerator` -- every ECMP-eligible path between two hosts,
+  memoized per (switch, destination) subproblem so enumerating all paths of
+  a k-ary fat-tree costs one DFS per distinct suffix instead of one per
+  source.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.switchsim.packet import Packet
 
@@ -56,18 +67,125 @@ class EcmpRoutingTable:
 
     def route(self, packet: Packet) -> int:
         """Return the egress port for ``packet``."""
-        port = self._host_routes.get(packet.dst)
+        return self.egress_for(packet.src, packet.dst, packet.flow_id)
+
+    def egress_for(self, src: int, dst: int, flow_id: int) -> int:
+        """The egress port for flow ``flow_id``'s packets towards ``dst``.
+
+        The single ECMP resolution point: the data path (:meth:`route`) and
+        the path-introspection helpers below all go through it and share one
+        memo, so a traced path is exactly the one the packets take.
+        """
+        port = self._host_routes.get(dst)
         if port is not None:
             return port
-        key = (packet.src, packet.dst, packet.flow_id)
+        key = (src, dst, flow_id)
         port = self._ecmp_cache.get(key)
         if port is None:
             if not self._uplinks:
                 raise LookupError(
-                    f"no route for destination host {packet.dst} "
+                    f"no route for destination host {dst} "
                     "and no uplinks configured"
                 )
-            index = _mix(packet.src, packet.dst, packet.flow_id) % len(self._uplinks)
+            index = _mix(src, dst, flow_id) % len(self._uplinks)
             port = self._uplinks[index]
             self._ecmp_cache[key] = port
         return port
+
+    def candidate_ports(self, dst: int) -> List[int]:
+        """Every port a packet towards ``dst`` may leave through.
+
+        One port for an exact host route, otherwise all registered uplinks
+        (the ECMP spread).  This is the branching set path enumeration walks.
+        """
+        port = self._host_routes.get(dst)
+        if port is not None:
+            return [port]
+        if not self._uplinks:
+            raise LookupError(
+                f"no route for destination host {dst} and no uplinks configured"
+            )
+        return list(self._uplinks)
+
+
+def _next_node(node, port: int):
+    """The node behind ``port`` of ``node`` (switch or host), or an error."""
+    link = node.link_for(port)
+    if link is None:
+        raise LookupError(f"switch {node.name} port {port} has no attached link")
+    return link.dst_node
+
+
+def trace_path(node, src: int, dst: int, flow_id: int,
+               max_hops: int = 32) -> Tuple[str, ...]:
+    """The switch names flow ``flow_id`` traverses from ``node`` to ``dst``.
+
+    Walks the routing tables hop by hop with the same (src, dst, flow_id)
+    hash the data path uses, so the returned path is exactly the one the
+    flow's packets take.  Raises ``LookupError`` on a routing loop or a
+    misdelivery (arriving at a host other than ``dst``).
+    """
+    path: List[str] = []
+    current = node
+    for _ in range(max_hops):
+        path.append(current.name)
+        port = current.routing.egress_for(src, dst, flow_id)
+        nxt = _next_node(current, port)
+        if not hasattr(nxt, "routing"):  # reached a host NIC
+            if getattr(nxt, "host_id", dst) != dst:
+                raise LookupError(
+                    f"flow {flow_id} towards host {dst} was delivered to "
+                    f"host {nxt.host_id} via {current.name} port {port}"
+                )
+            return tuple(path)
+        current = nxt
+    raise LookupError(
+        f"no path to host {dst} within {max_hops} hops (routing loop?): "
+        + " -> ".join(path)
+    )
+
+
+class PathEnumerator:
+    """Enumerates every ECMP-eligible switch path towards a destination host.
+
+    The DFS branches over :meth:`EcmpRoutingTable.candidate_ports` at each
+    stage and memoizes the suffix set per (switch, destination): on a k-ary
+    fat-tree every edge switch of a pod shares its aggregation switches'
+    (and their cores') suffixes, so enumerating all ``(k/2)^2`` inter-pod
+    paths costs one walk over the fabric instead of one DFS per source.
+    A topology change invalidates the enumerator -- build a fresh one.
+    """
+
+    def __init__(self, max_hops: int = 32) -> None:
+        self.max_hops = max_hops
+        self._memo: Dict[Tuple[int, int], Tuple[Tuple[str, ...], ...]] = {}
+
+    def paths(self, node, dst: int) -> List[Tuple[str, ...]]:
+        """All switch-name paths from ``node`` to host ``dst``, sorted."""
+        return sorted(self._paths(node, dst, self.max_hops))
+
+    def _paths(self, node, dst: int,
+               budget: int) -> Tuple[Tuple[str, ...], ...]:
+        if budget <= 0:
+            raise LookupError(
+                f"no path to host {dst} within {self.max_hops} hops "
+                f"(routing loop through {node.name}?)"
+            )
+        key = (id(node), dst)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        found: List[Tuple[str, ...]] = []
+        for port in node.routing.candidate_ports(dst):
+            nxt = _next_node(node, port)
+            if not hasattr(nxt, "routing"):
+                if getattr(nxt, "host_id", dst) == dst:
+                    found.append((node.name,))
+                continue
+            for suffix in self._paths(nxt, dst, budget - 1):
+                found.append((node.name,) + suffix)
+        if not found:
+            raise LookupError(f"switch {node.name} has no path to host {dst}")
+        result = tuple(found)
+        self._memo[key] = result
+        return result

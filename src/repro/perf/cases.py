@@ -4,7 +4,7 @@ A :class:`PerfCase` names a representative scenario at a given tier
 (``small`` runs in well under a second and feeds the CI tripwire; ``medium``
 runs for a few seconds and is the scale optimization work is judged at) and
 builds a fresh :class:`~repro.scenario.spec.ScenarioSpec` for every
-measurement.  The four built-in families cover every hot path of the
+measurement.  The five built-in families cover every hot path of the
 simulation core:
 
 * ``incast_single_switch`` -- the DPDK-testbed shape: DCTCP incast queries +
@@ -12,6 +12,8 @@ simulation core:
   scheduling, transport, host NICs);
 * ``websearch_leaf_spine`` -- the ns-3 fabric shape: multi-switch forwarding
   with ECMP routing across the spines;
+* ``websearch_fat_tree`` -- the multi-stage fabric shape: a k=4 fat-tree
+  with two ECMP stages and 4-5 switch hops per inter-pod flow;
 * ``dumbbell_burst`` -- two switches, cross traffic plus a synchronized
   burst (Occamy's expulsion engine under pressure);
 * ``raw_switch_stream`` -- the P4-prototype shape: raw packet arrivals on a
@@ -28,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.scenario.builders import (
+    fat_tree_scenario,
     leaf_spine_scenario,
     packet_burst_scenario,
     single_switch_scenario,
@@ -136,6 +139,24 @@ def _websearch_leaf_spine(tier: str) -> ScenarioSpec:
     )
 
 
+def _websearch_fat_tree(tier: str) -> ScenarioSpec:
+    # The multi-stage fabric shape: paced incast + websearch background on a
+    # k=4 fat-tree (20 switches, 4-5 switch hops per inter-pod flow).  The
+    # small tier runs the bench fabric (8 hosts) over a compressed window;
+    # medium runs the full-bisection fabric (16 hosts) of the small scale.
+    if tier == "small":
+        config = replace(get_scale("bench"), fabric_duration=0.0015)
+    else:
+        config = replace(get_scale("small"), fabric_duration=0.004)
+    return fat_tree_scenario(
+        scheme="dt",
+        config=config,
+        query_size_bytes=int(0.6 * config.fabric_buffer_bytes_per_port * 8),
+        background_load=0.5,
+        name=f"perf_websearch_fat_tree_{tier}",
+    )
+
+
 def _dumbbell_burst(tier: str) -> ScenarioSpec:
     # Occamy on a dumbbell: steady cross traffic keeps the bottleneck busy
     # while a synchronized burst exercises the expulsion engine.
@@ -193,6 +214,10 @@ _BUILDERS = {
     "websearch_leaf_spine": (
         _websearch_leaf_spine,
         "leaf-spine fabric with ECMP, incast + websearch (fig17 shape)",
+    ),
+    "websearch_fat_tree": (
+        _websearch_fat_tree,
+        "k=4 fat-tree, multi-stage ECMP, incast + websearch background",
     ),
     "dumbbell_burst": (
         _dumbbell_burst,

@@ -6,10 +6,10 @@ The scenario layer composes four registries behind one JSON-expressible
 * **schemes** -- :mod:`repro.core.registry` (promoted: default kwargs with
   the paper's parameter choices, collision protection);
 * **topologies** -- :mod:`repro.scenario.topologies` (``single_switch``,
-  ``leaf_spine``, ``dumbbell``, ``raw_switch``, pluggable);
+  ``leaf_spine``, ``fat_tree``, ``dumbbell``, ``raw_switch``, pluggable);
 * **workloads** -- :mod:`repro.scenario.workloads` (``incast``, ``poisson``,
-  ``websearch``, ``all_to_all``, ``all_reduce``, ``burst``, ``fixed``,
-  packet-level streams/bursts);
+  ``websearch``, ``all_to_all``, ``all_reduce``, ``burst``, ``permutation``,
+  ``hotspot``, ``trace_replay``, ``fixed``, packet-level streams/bursts);
 * **transport configs** -- :mod:`repro.scenario.transports` (named
   TransportConfig profiles + per-workload protocol selection).
 
@@ -21,6 +21,7 @@ sweeps any scenario dimension through its ``"scenario"`` grid type; and
 """
 
 from repro.scenario.builders import (
+    fat_tree_scenario,
     fixed_flows_workload,
     leaf_spine_scenario,
     packet_burst_scenario,
@@ -69,6 +70,7 @@ __all__ = [
     "available_topologies",
     "available_transport_profiles",
     "available_workloads",
+    "fat_tree_scenario",
     "fixed_flows_workload",
     "get_scale",
     "leaf_spine_scenario",

@@ -21,6 +21,7 @@ from typing import Callable, List
 
 from repro.scenario.registry import Registry
 from repro.topology.dumbbell import DumbbellTopology
+from repro.topology.fattree import FatTreeTopology
 from repro.topology.leaf_spine import LeafSpineTopology
 from repro.topology.raw_switch import RawSwitchTopology
 from repro.topology.single_switch import SingleSwitchTopology
@@ -85,11 +86,16 @@ def _dumbbell(manager_factory, **params) -> DumbbellTopology:
     return DumbbellTopology(manager_factory=manager_factory, **params)
 
 
+def _fat_tree(manager_factory, **params) -> FatTreeTopology:
+    return FatTreeTopology(manager_factory=manager_factory, **params)
+
+
 def _raw_switch(manager_factory, **params) -> RawSwitchTopology:
     return RawSwitchTopology(manager_factory=manager_factory, **params)
 
 
 register_topology("single_switch", _single_switch, level=LEVEL_NETWORK)
 register_topology("leaf_spine", _leaf_spine, level=LEVEL_NETWORK)
+register_topology("fat_tree", _fat_tree, level=LEVEL_NETWORK)
 register_topology("dumbbell", _dumbbell, level=LEVEL_NETWORK)
 register_topology("raw_switch", _raw_switch, level=LEVEL_SWITCH)

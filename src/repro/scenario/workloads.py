@@ -3,7 +3,9 @@
 A workload factory takes a :class:`~repro.scenario.spec.WorkloadSpec` and a
 :class:`WorkloadContext` and returns traffic:
 
-* network-level factories return a list of
+* network-level factories (``incast``, ``poisson``/``websearch``,
+  ``all_to_all``, ``all_reduce``, ``burst``, ``permutation``, ``hotspot``,
+  ``trace_replay``, ``fixed``) return a list of
   :class:`~repro.workloads.spec.FlowSpec` (injected as transport flows);
 * packet-level factories (``packet_stream`` / ``packet_burst``) return a list
   of ``(time, size_bytes, port)`` arrivals applied straight to the switch.
@@ -20,18 +22,22 @@ trace-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.scenario.registry import Registry
 from repro.sim.rng import SeededRNG
 from repro.workloads import (
     DATA_MINING_DISTRIBUTION,
+    HotspotFlowGenerator,
     IncastQueryGenerator,
     PoissonFlowGenerator,
     WEB_SEARCH_DISTRIBUTION,
     all_reduce_flows,
     all_to_all_flows,
     flows_per_second_for_load,
+    load_flow_trace,
+    permutation_flows,
+    trace_replay_flows,
 )
 from repro.workloads.burst import burst_arrivals, constant_rate_arrivals
 from repro.workloads.spec import FlowSpec
@@ -43,6 +49,16 @@ _DISTRIBUTIONS = {
     "websearch": WEB_SEARCH_DISTRIBUTION,
     "datamining": DATA_MINING_DISTRIBUTION,
 }
+
+
+def _resolve_distribution(name: str):
+    try:
+        return _DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; "
+            f"available: {', '.join(sorted(_DISTRIBUTIONS))}"
+        ) from None
 
 
 @dataclass
@@ -157,14 +173,9 @@ def poisson_workload(
       link rate, so the aggregate scales with the host count (the leaf-spine
       convention).
     """
-    if distribution not in _DISTRIBUTIONS:
-        raise ValueError(
-            f"unknown distribution {distribution!r}; "
-            f"available: {', '.join(sorted(_DISTRIBUTIONS))}"
-        )
+    dist = _resolve_distribution(distribution)
     if not ctx.hosts:
         raise ValueError("this workload needs a network-level topology with hosts")
-    dist = _DISTRIBUTIONS[distribution]
     if not flows_per_second:
         if load <= 0:
             return []
@@ -244,6 +255,94 @@ def burst_workload(
     ]
 
 
+def permutation_workload(
+    ctx: WorkloadContext,
+    flow_size_bytes: int,
+    pattern: str = "random",
+    shift: int = 1,
+    start_time: float = 0.0,
+    priority: int = 0,
+) -> List[FlowSpec]:
+    """One flow per host along a permutation (random derangement or shift)."""
+    if not ctx.hosts:
+        raise ValueError("this workload needs a network-level topology with hosts")
+    return permutation_flows(
+        ctx.hosts, flow_size_bytes, rng=ctx.rng, pattern=pattern, shift=shift,
+        start_time=start_time, priority=priority)
+
+
+def hotspot_workload(
+    ctx: WorkloadContext,
+    hotspot_fraction: float = 0.5,
+    num_hotspots: int = 1,
+    hotspot_hosts: Optional[Sequence[int]] = None,
+    load: float = 0.0,
+    flows_per_second: float = 0.0,
+    distribution: str = "websearch",
+    flow_size_bytes: Optional[int] = None,
+    start_time: float = 0.0,
+    priority: int = 0,
+) -> List[FlowSpec]:
+    """Poisson flows with a skewed receiver matrix (hotspot traffic).
+
+    Destinations fall into ``hotspot_hosts`` (default: the last
+    ``num_hotspots`` hosts, which on multi-stage fabrics land in the last
+    pod/leaf) with probability ``hotspot_fraction``.  Sizes come from the
+    named empirical ``distribution`` unless ``flow_size_bytes`` pins them.
+    Either give ``flows_per_second`` directly or an aggregate ``load``
+    (fraction of one link's rate, the single-switch testbed convention).
+    """
+    if not ctx.hosts:
+        raise ValueError("this workload needs a network-level topology with hosts")
+    hotspots = (list(hotspot_hosts) if hotspot_hosts is not None
+                else ctx.hosts[-max(1, int(num_hotspots)):])
+    dist = None
+    if flow_size_bytes is None:
+        dist = _resolve_distribution(distribution)
+    if not flows_per_second:
+        if load <= 0:
+            return []
+        mean_bytes = dist.mean() if dist is not None else float(flow_size_bytes)
+        flows_per_second = flows_per_second_for_load(
+            load, ctx.link_rate_bps, mean_bytes, num_senders=1)
+    generator = HotspotFlowGenerator(
+        ctx.hosts,
+        hotspots,
+        flows_per_second=flows_per_second,
+        rng=ctx.rng,
+        hotspot_fraction=hotspot_fraction,
+        size_distribution=dist,
+        flow_size_bytes=flow_size_bytes,
+        priority=priority,
+    )
+    return generator.generate(ctx.duration, start_time=start_time)
+
+
+def trace_replay_workload(
+    ctx: WorkloadContext,
+    path: str,
+    time_scale: float = 1.0,
+    size_scale: float = 1.0,
+    time_offset: float = 0.0,
+    default_priority: int = 0,
+) -> List[FlowSpec]:
+    """Replay a recorded CSV/JSON flow trace as transport flows.
+
+    ``path`` is resolved against the current working directory (scenario
+    documents carry no directory context); use absolute paths in specs meant
+    to run from elsewhere.  Host ids in the trace must exist in the
+    topology -- the runner rejects unknown hosts at injection time.
+    """
+    del ctx  # trace flows are fully explicit; no rng, hosts from the file
+    return trace_replay_flows(
+        load_flow_trace(path),
+        time_scale=time_scale,
+        size_scale=size_scale,
+        time_offset=time_offset,
+        default_priority=default_priority,
+    )
+
+
 def fixed_workload(ctx: WorkloadContext, flows: Sequence[dict]) -> List[FlowSpec]:
     """Explicitly listed flows (src/dst/size_bytes/start_time[/priority...]).
 
@@ -307,6 +406,9 @@ register_workload("websearch", websearch_workload)
 register_workload("all_to_all", all_to_all_workload)
 register_workload("all_reduce", all_reduce_workload)
 register_workload("burst", burst_workload)
+register_workload("permutation", permutation_workload)
+register_workload("hotspot", hotspot_workload)
+register_workload("trace_replay", trace_replay_workload)
 register_workload("fixed", fixed_workload)
 register_workload("packet_stream", packet_stream_workload)
 register_workload("packet_burst", packet_burst_workload)

@@ -1,12 +1,14 @@
-"""Topology builders: single-switch star, dumbbell and leaf-spine fabrics."""
+"""Topology builders: star, dumbbell, leaf-spine and fat-tree fabrics."""
 
 from repro.topology.single_switch import SingleSwitchTopology
 from repro.topology.leaf_spine import LeafSpineTopology
 from repro.topology.dumbbell import DumbbellTopology
+from repro.topology.fattree import FatTreeTopology
 from repro.topology.raw_switch import RawSwitchTopology
 
 __all__ = [
     "DumbbellTopology",
+    "FatTreeTopology",
     "LeafSpineTopology",
     "RawSwitchTopology",
     "SingleSwitchTopology",

@@ -30,6 +30,12 @@ class LeafSpineTopology:
         num_leaves / num_spines / hosts_per_leaf: fabric dimensions.
         manager_factory: callable returning a fresh buffer manager; called
             once per switch so every switch has its own instance.
+        oversubscription: when given, derives the spine count from the host
+            count instead of taking ``num_spines`` literally:
+            ``num_spines = max(1, round(hosts_per_leaf / oversubscription))``
+            (all links share one rate, so the leaf's downlink:uplink capacity
+            ratio *is* ``hosts_per_leaf / num_spines``).  ``2.0`` gives the
+            classic 2:1 oversubscribed leaf.
         link_rate_bps: rate of all links (hosts and fabric).
         buffer_bytes_per_port: shared buffer per switch = this x port count
             (the paper's 4 MB per 8 ports = 512 KB per port).
@@ -46,6 +52,7 @@ class LeafSpineTopology:
         num_leaves: int = 4,
         num_spines: int = 4,
         hosts_per_leaf: int = 4,
+        oversubscription: Optional[float] = None,
         link_rate_bps: float = 10 * GBPS,
         buffer_bytes_per_port: int = 512 * KB,
         queues_per_port: int = 1,
@@ -55,6 +62,10 @@ class LeafSpineTopology:
         trace_queues: bool = False,
         simulator: Optional[Simulator] = None,
     ) -> None:
+        if oversubscription is not None:
+            if oversubscription <= 0:
+                raise ValueError("oversubscription must be positive")
+            num_spines = max(1, round(hosts_per_leaf / oversubscription))
         if num_leaves < 2 or num_spines < 1 or hosts_per_leaf < 1:
             raise ValueError("fabric dimensions must be positive (>=2 leaves)")
         self.sim = simulator or Simulator()

@@ -16,6 +16,9 @@ from repro.workloads.poisson import PoissonFlowGenerator
 from repro.workloads.incast import IncastQueryGenerator, reset_query_ids
 from repro.workloads.collective import all_reduce_flows, all_to_all_flows, double_binary_tree
 from repro.workloads.burst import burst_arrivals, constant_rate_arrivals
+from repro.workloads.hotspot import HotspotFlowGenerator
+from repro.workloads.permutation import permutation_flows, random_derangement
+from repro.workloads.trace import load_flow_trace, trace_replay_flows
 
 
 def reset_workload_ids() -> None:
@@ -27,6 +30,7 @@ __all__ = [
     "DATA_MINING_DISTRIBUTION",
     "EmpiricalDistribution",
     "FlowSpec",
+    "HotspotFlowGenerator",
     "IncastQueryGenerator",
     "PoissonFlowGenerator",
     "WEB_SEARCH_DISTRIBUTION",
@@ -36,7 +40,11 @@ __all__ = [
     "constant_rate_arrivals",
     "double_binary_tree",
     "flows_per_second_for_load",
+    "load_flow_trace",
+    "permutation_flows",
+    "random_derangement",
     "reset_flow_ids",
     "reset_query_ids",
     "reset_workload_ids",
+    "trace_replay_flows",
 ]

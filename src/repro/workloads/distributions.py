@@ -17,6 +17,14 @@ from repro.sim.rng import SeededRNG
 class EmpiricalDistribution:
     """An empirical CDF over flow sizes with inverse-transform sampling.
 
+    The inverse CDF interpolates linearly *within* segments and treats all
+    probability mass below the first CDF point as a point mass at
+    ``sizes[0]`` (the published CDFs list the minimum observed flow size
+    first, so there is nothing to interpolate towards below it).  ``sample``,
+    ``mean`` and ``percentiles`` all evaluate the same inverse CDF
+    (:meth:`quantile`), so the analytic mean equals the expectation of the
+    sampler by construction -- the regression tests pin this.
+
     Args:
         points: (size_bytes, cumulative_probability) pairs, strictly
             increasing in both coordinates, with the last probability == 1.0.
@@ -37,41 +45,57 @@ class EmpiricalDistribution:
         self._sizes = sizes
         self._probs = probs
 
-    def sample(self, rng: SeededRNG) -> int:
-        """Draw one flow size in bytes by inverse-transform sampling."""
-        u = rng.random()
-        idx = bisect.bisect_left(self._probs, u)
+    def quantile(self, p: float) -> float:
+        """The inverse CDF at cumulative probability ``p`` (0-1), in bytes.
+
+        This is the single definition of the distribution's shape;
+        :meth:`sample`, :meth:`mean` and :meth:`percentiles` are all derived
+        from it.
+        """
+        if not 0 <= p <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        idx = bisect.bisect_left(self._probs, p)
         if idx == 0:
-            return max(1, int(self._sizes[0]))
-        if idx >= len(self._probs):
-            return int(self._sizes[-1])
+            # All mass at or below the first CDF point: point mass at the
+            # distribution's minimum size.
+            return float(self._sizes[0])
+        if idx >= len(self._probs):  # p == 1.0 handled by bisect; guard only
+            return float(self._sizes[-1])
         p0, p1 = self._probs[idx - 1], self._probs[idx]
         s0, s1 = self._sizes[idx - 1], self._sizes[idx]
         if p1 == p0:
-            return max(1, int(s1))
-        frac = (u - p0) / (p1 - p0)
-        return max(1, int(s0 + frac * (s1 - s0)))
+            return float(s1)
+        frac = (p - p0) / (p1 - p0)
+        return s0 + frac * (s1 - s0)
+
+    def sample(self, rng: SeededRNG) -> int:
+        """Draw one flow size in bytes by inverse-transform sampling."""
+        return max(1, int(self.quantile(rng.random())))
 
     def mean(self) -> float:
-        """Mean flow size implied by trapezoidal interpolation of the CDF."""
-        total = 0.0
-        prev_size, prev_prob = self._sizes[0], 0.0
-        for size, prob in zip(self._sizes, self._probs):
+        """Mean flow size: the exact integral of :meth:`quantile` over [0, 1].
+
+        The first segment contributes ``probs[0] * sizes[0]`` (point mass at
+        the minimum size, matching the sampler); every later segment
+        contributes its mass times the segment midpoint (the integral of the
+        linear interpolation).
+        """
+        total = self._probs[0] * (self._sizes[0] + self._sizes[0]) / 2.0
+        prev_size, prev_prob = self._sizes[0], self._probs[0]
+        for size, prob in zip(self._sizes[1:], self._probs[1:]):
             mass = prob - prev_prob
             total += mass * (size + prev_size) / 2.0
             prev_size, prev_prob = size, prob
         return total
 
     def percentiles(self, ps: Sequence[float]) -> List[float]:
-        """Flow sizes at the requested cumulative probabilities (0-1)."""
-        out = []
-        for p in ps:
-            if not 0 <= p <= 1:
-                raise ValueError("probabilities must be in [0, 1]")
-            idx = bisect.bisect_left(self._probs, p)
-            idx = min(idx, len(self._sizes) - 1)
-            out.append(self._sizes[idx])
-        return out
+        """Flow sizes at the requested cumulative probabilities (0-1).
+
+        Interpolates within CDF segments exactly like :meth:`sample`'s
+        inverse transform (it used to return raw bucket edges, which
+        disagreed with the sampler everywhere strictly inside a segment).
+        """
+        return [self.quantile(p) for p in ps]
 
 
 #: Web-search workload (DCTCP paper, Figure 5 therein).  Sizes in bytes.

@@ -1,0 +1,67 @@
+"""Permutation traffic: every host sends one flow, every host receives one.
+
+The classic fabric stress pattern: a permutation matrix keeps every host NIC
+busy in both directions while concentrating nothing, so any loss or slowdown
+is attributable to the fabric (ECMP imbalance, oversubscription) rather than
+to endpoint contention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.rng import SeededRNG
+from repro.workloads.spec import FlowSpec
+
+
+def random_derangement(items: Sequence[int], rng: SeededRNG) -> List[int]:
+    """A uniformly random permutation of ``items`` with no fixed point.
+
+    Rejection-samples shuffles, which needs ``e ~ 2.72`` attempts on average
+    and is deterministic for a given rng stream.
+    """
+    if len(items) < 2:
+        raise ValueError("need at least two items to derange")
+    items = list(items)
+    while True:
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        if all(a != b for a, b in zip(items, shuffled)):
+            return shuffled
+
+
+def permutation_flows(
+    hosts: Sequence[int],
+    flow_size_bytes: int,
+    rng: Optional[SeededRNG] = None,
+    pattern: str = "random",
+    shift: int = 1,
+    start_time: float = 0.0,
+    priority: int = 0,
+) -> List[FlowSpec]:
+    """One flow per host following a permutation with no self-sends.
+
+    ``pattern="random"`` draws a random derangement from ``rng``;
+    ``pattern="shift"`` sends host ``i`` to host ``(i + shift) mod n`` (the
+    deterministic ring permutation, useful for pinning exact ECMP paths).
+    """
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    if flow_size_bytes <= 0:
+        raise ValueError("flow_size_bytes must be positive")
+    hosts = list(hosts)
+    if pattern == "random":
+        if rng is None:
+            raise ValueError("pattern='random' needs an rng")
+        receivers = random_derangement(hosts, rng)
+    elif pattern == "shift":
+        if shift % len(hosts) == 0:
+            raise ValueError("shift must not be a multiple of the host count")
+        receivers = [hosts[(i + shift) % len(hosts)] for i in range(len(hosts))]
+    else:
+        raise ValueError(f"unknown permutation pattern {pattern!r}")
+    return [
+        FlowSpec(src=src, dst=dst, size_bytes=flow_size_bytes,
+                 start_time=start_time, priority=priority)
+        for src, dst in zip(hosts, receivers)
+    ]

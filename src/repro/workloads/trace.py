@@ -1,0 +1,91 @@
+"""Trace replay: turn recorded flow traces (CSV / JSON) into FlowSpecs.
+
+Published datacenter traces (and the flow logs this repo's own campaign
+store accumulates) are lists of ``(src, dst, size, start_time)`` records.
+The loader accepts the two common encodings:
+
+* **CSV** with a header row naming at least ``src, dst, size_bytes,
+  start_time`` (``priority`` optional, extra columns ignored);
+* **JSON**: either a list of objects with those keys or an object with a
+  ``"flows"`` list (the shape ``ScenarioResult.to_dict()`` emits).
+
+Replay can rescale time and size axes, so a production trace shrinks onto
+the pure-Python simulator without editing the file.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.workloads.spec import FlowSpec
+
+REQUIRED_FIELDS = ("src", "dst", "size_bytes", "start_time")
+
+
+def load_flow_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a ``.csv`` / ``.json`` flow trace into a list of record dicts."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"flow trace {path} does not exist")
+    if path.suffix.lower() == ".csv":
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            records = [dict(row) for row in reader]
+    elif path.suffix.lower() == ".json":
+        data = json.loads(path.read_text())
+        if isinstance(data, dict):
+            data = data.get("flows", [])
+        if not isinstance(data, list):
+            raise ValueError(f"JSON trace {path} must be a list of records "
+                             "or an object with a 'flows' list")
+        records = [dict(entry) for entry in data]
+    else:
+        raise ValueError(
+            f"unsupported trace format {path.suffix!r}; use .csv or .json")
+    if not records:
+        raise ValueError(f"flow trace {path} contains no records")
+    for i, record in enumerate(records):
+        missing = [f for f in REQUIRED_FIELDS
+                   if record.get(f) in (None, "")]
+        if missing:
+            raise ValueError(
+                f"trace record {i} of {path} is missing {', '.join(missing)}")
+    return records
+
+
+def trace_replay_flows(
+    records: Sequence[Dict[str, object]],
+    time_scale: float = 1.0,
+    size_scale: float = 1.0,
+    time_offset: float = 0.0,
+    default_priority: int = 0,
+) -> List[FlowSpec]:
+    """Build FlowSpecs from trace records, rescaling time and size axes.
+
+    Each record's start time becomes ``time_offset + start_time *
+    time_scale`` and its size ``max(1, size_bytes * size_scale)``.  Records
+    are replayed in file order, so a given trace always consumes flow ids in
+    the same order (determinism across runs and processes).
+    """
+    if time_scale <= 0 or size_scale <= 0:
+        raise ValueError("time_scale and size_scale must be positive")
+    flows: List[FlowSpec] = []
+    for record in records:
+        # An explicit priority of 0 (JSON int) or "0" (CSV string) must win
+        # over the default -- only absent/empty fields fall back.
+        priority = record.get("priority")
+        if priority in (None, ""):
+            priority = default_priority
+        flows.append(
+            FlowSpec(
+                src=int(record["src"]),
+                dst=int(record["dst"]),
+                size_bytes=max(1, int(float(record["size_bytes"]) * size_scale)),
+                start_time=time_offset + float(record["start_time"]) * time_scale,
+                priority=int(priority),
+            )
+        )
+    return flows

@@ -203,6 +203,31 @@ class TestResultStore:
         assert list(store.entries()) == []
         assert store.status_counts() == {}
 
+    def test_empty_metrics_result_round_trips(self, tmp_path):
+        # Regression: ``result=... if result else None`` in from_dict dropped
+        # legitimately empty result payloads on resume -- an ok run with no
+        # rows must come back as an (empty) result, never as None.
+        store = ResultStore(tmp_path)
+        entry = make_entry()
+        entry.result = ExperimentResult("fig13")  # ok status, zero rows
+        store.save(entry)
+        loaded = store.load(entry.config_hash)
+        assert loaded.ok
+        assert loaded.result is not None
+        assert loaded.result.rows == []
+
+    def test_falsy_result_dict_not_dropped(self):
+        # Even a bare ``{}`` result payload (falsy!) must rebuild into an
+        # empty ExperimentResult rather than be silently replaced by None.
+        document = make_entry().to_dict()
+        document["result"] = {}
+        loaded = StoreEntry.from_dict(document)
+        assert loaded.result is not None
+        assert loaded.result.rows == []
+        # An absent result is still genuinely None.
+        document["result"] = None
+        assert StoreEntry.from_dict(document).result is None
+
 
 class TestExecutor:
     def test_execute_run_failure_captured(self):

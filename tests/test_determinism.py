@@ -94,3 +94,89 @@ def test_two_fresh_processes_byte_identical():
     assert first == run_child()
     # The fresh processes also agree with an in-process run.
     assert first.strip() == _run_to_json()
+
+
+# ----------------------------------------------------------------------
+# Fat-tree: multi-stage ECMP path choice must be deterministic everywhere
+# ----------------------------------------------------------------------
+def _fat_tree_spec() -> ScenarioSpec:
+    # The fat-tree example exercises two ECMP stages (edge->agg, agg->core)
+    # across 20 switches with three workload families; a shortened window
+    # keeps each run around a second.
+    spec = ScenarioSpec.from_file(EXAMPLES_DIR / "scenario_fattree_websearch.json")
+    spec.duration = 0.0015
+    return spec
+
+
+def _run_fat_tree_to_json() -> str:
+    """Result document plus the ECMP-resolved path of every injected flow."""
+    reset_workload_ids()
+    result = run_scenario(_fat_tree_spec())
+    topology = result.topology
+    document = result.to_dict()
+    document["paths"] = {
+        str(flow.flow_id): list(topology.path_of_flow(flow.src, flow.dst,
+                                                      flow.flow_id))
+        for flow in topology.network.injected_flows
+    }
+    return json.dumps(document, sort_keys=True)
+
+
+def test_fat_tree_same_spec_same_seed_byte_identical_in_process():
+    assert _run_fat_tree_to_json() == _run_fat_tree_to_json()
+
+
+def test_fat_tree_serial_vs_parallel_campaign_identical():
+    document = _fat_tree_spec().to_dict()
+    specs = [
+        RunSpec(experiment="scenario", scale="-", seed=seed,
+                params={"scenario": document})
+        for seed in (0, 1)
+    ]
+    serial = CampaignExecutor(jobs=1).run(specs)
+    parallel = CampaignExecutor(jobs=2).run(specs)
+    assert all(outcome.ok for outcome in serial)
+    assert all(outcome.ok for outcome in parallel)
+    serial_docs = [json.dumps(o.result.to_dict(), sort_keys=True) for o in serial]
+    parallel_docs = [json.dumps(o.result.to_dict(), sort_keys=True)
+                     for o in parallel]
+    assert serial_docs == parallel_docs
+
+
+_FAT_TREE_CHILD_SCRIPT = """
+import json, sys
+from repro.scenario import ScenarioSpec, run_scenario
+from repro.workloads import reset_workload_ids
+
+spec = ScenarioSpec.from_file(sys.argv[1])
+spec.duration = 0.0015
+reset_workload_ids()
+result = run_scenario(spec)
+topology = result.topology
+document = result.to_dict()
+document["paths"] = {
+    str(f.flow_id): list(topology.path_of_flow(f.src, f.dst, f.flow_id))
+    for f in topology.network.injected_flows
+}
+print(json.dumps(document, sort_keys=True))
+"""
+
+
+def test_fat_tree_two_fresh_processes_byte_identical():
+    """ECMP path choice (and everything downstream) across interpreters."""
+    def run_child() -> str:
+        proc = subprocess.run(
+            [sys.executable, "-c", _FAT_TREE_CHILD_SCRIPT,
+             str(EXAMPLES_DIR / "scenario_fattree_websearch.json")],
+            capture_output=True, text=True, timeout=240,
+            env={"PYTHONPATH": str(SRC_DIR), "PYTHONHASHSEED": "random"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    first = run_child()
+    assert first == run_child()
+    assert first.strip() == _run_fat_tree_to_json()
+    # Sanity: the document really carries multi-stage (5-hop) paths.
+    paths = json.loads(first)["paths"]
+    assert any(len(path) == 5 for path in paths.values())

@@ -53,6 +53,40 @@ class TestPercentiles:
         with pytest.raises(ValueError):
             cdf_points([1, 2], num_points=0)
 
+    def test_cdf_points_count_pinned_for_awkward_n(self):
+        # Regression: the old integer stride (max(1, n // num_points)) made
+        # the point count swing wildly with n (n=199 emitted 199 points,
+        # n=250 emitted 126).  The index schedule now hits num_points evenly
+        # whenever n >= num_points, and n otherwise.
+        for n, num_points in [(101, 100), (150, 100), (199, 100), (250, 100),
+                              (1000, 100), (100, 100), (7, 100), (1, 5)]:
+            points = cdf_points(range(n), num_points=num_points)
+            assert len(points) == min(n, num_points), (n, num_points)
+
+    def test_cdf_points_always_end_at_max_and_prob_one(self):
+        for n in (3, 101, 250):
+            data = [float(v) for v in range(n)]
+            points = cdf_points(data, num_points=10)
+            assert points[-1] == (max(data), 1.0)
+
+    def test_cdf_points_anchor_both_tails(self):
+        # The downsampled CDF must keep the sample minimum (left anchor) as
+        # well as the maximum, whatever the n : num_points ratio.
+        for n, num_points in [(1000, 100), (101, 100), (5, 2), (1, 5)]:
+            points = cdf_points(range(n), num_points=num_points)
+            assert points[-1][0] == n - 1
+            if len(points) > 1:
+                assert points[0][0] == 0
+
+    def test_cdf_points_sample_tail_evenly(self):
+        # 250 values into 100 points: consecutive ranks may differ by at
+        # most ceil(n / num_points), including in the tail.
+        points = cdf_points(range(250), num_points=100)
+        ranks = [int(p * 250) for _, p in points]
+        gaps = [b - a for a, b in zip(ranks, ranks[1:])]
+        assert max(gaps) <= 3
+        assert min(gaps) >= 1
+
 
 class TestFlowMetrics:
     def test_ideal_fct_includes_rtt_and_serialization(self):

@@ -9,6 +9,7 @@ experiments.
 """
 
 import json
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -30,6 +31,9 @@ from repro.scenario import (
     TopologySpec,
     TransportSpec,
     WorkloadSpec,
+    available_topologies,
+    available_workloads,
+    fat_tree_scenario,
     leaf_spine_scenario,
     register_topology,
     register_transport_profile,
@@ -120,6 +124,12 @@ class TestScenarioRegistries:
         with pytest.raises(TypeError):
             register_transport_profile("tp_bogus", {"not_a_field": 1})
 
+    def test_scenario_zoo_entries_registered(self):
+        # The zoo additions must be visible to sweeps and the CLI for free.
+        assert "fat_tree" in available_topologies()
+        for kind in ("permutation", "hotspot", "trace_replay"):
+            assert kind in available_workloads()
+
     def test_runner_validates_names(self):
         spec = _dumbbell_burst_spec()
         bad = ScenarioSpec.from_dict(
@@ -186,6 +196,45 @@ class TestScenarioRunner:
         )
         result = run_scenario(spec)
         assert result.flow_stats.completed_queries()
+
+    def test_fat_tree_builder_round_trips_and_runs(self):
+        reset_workload_ids()
+        config = replace(get_scale("bench"), fabric_duration=0.001)
+        spec = fat_tree_scenario(
+            scheme="occamy", config=config, query_size_bytes=60_000,
+            background_kind="permutation", background_flow_size=8_192,
+        )
+        assert spec.topology.kind == "fat_tree"
+        assert spec.topology.params["k"] == config.fattree_k
+        rebuilt = ScenarioSpec.from_json(json.dumps(spec.to_dict()))
+        assert rebuilt.config_hash() == spec.config_hash()
+        result = run_scenario(spec)
+        assert result.flow_stats.completed_queries()
+        # permutation background: one flow per host rode along
+        background = [f for f in result.topology.network.injected_flows
+                      if f.query_id is None]
+        assert len(background) == result.topology.num_hosts
+
+    def test_hotspot_workload_concentrates_on_receiver(self):
+        reset_workload_ids()
+        spec = ScenarioSpec(
+            name="hotspot-single-switch",
+            scheme=SchemeSpec("dt"),
+            topology=TopologySpec("single_switch", {"num_hosts": 6}),
+            workloads=[WorkloadSpec("hotspot", params={
+                "flows_per_second": 20_000,
+                "hotspot_fraction": 0.9,
+                "num_hotspots": 1,
+                "flow_size_bytes": 4000,
+            })],
+            duration=0.003,
+        )
+        result = run_scenario(spec)
+        flows = result.topology.network.injected_flows
+        assert flows
+        # Host 5 (the default hotspot: the last host) receives the bulk.
+        hot = sum(1 for f in flows if f.dst == 5)
+        assert hot / len(flows) > 0.6
 
     def test_packet_and_network_workloads_do_not_mix(self):
         spec = _dumbbell_burst_spec()
