@@ -105,12 +105,11 @@ def _execute_run_payload(payload: Dict[str, object]) -> Dict[str, object]:
 
 
 def _outcome_from_payload(data: Dict[str, object]) -> RunOutcome:
-    result = data.get("result")
     return RunOutcome(
         spec=RunSpec.from_dict(data["spec"]),
         status=str(data["status"]),
         elapsed=float(data.get("elapsed", 0.0)),
-        result=ExperimentResult.from_dict(result) if result else None,
+        result=ExperimentResult.from_optional_dict(data.get("result")),
         error=data.get("error"),
         traceback=data.get("traceback"),
     )

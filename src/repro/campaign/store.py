@@ -65,16 +65,11 @@ class StoreEntry:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "StoreEntry":
-        result = data.get("result")
         return cls(
             spec=RunSpec.from_dict(data["spec"]),
             status=str(data["status"]),
             elapsed=float(data.get("elapsed", 0.0)),
-            # ``is not None``, not truthiness: an ok run whose result dict is
-            # empty/falsy (e.g. no rows captured) must still round-trip as a
-            # result object, or --resume silently drops it from reports.
-            result=(ExperimentResult.from_dict(result)
-                    if result is not None else None),
+            result=ExperimentResult.from_optional_dict(data.get("result")),
             error=data.get("error"),
             traceback=data.get("traceback"),
             created_unix=float(data.get("created_unix", 0.0)),

@@ -116,14 +116,33 @@ class ExperimentResult:
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
         """Rebuild a result from :meth:`to_dict` output.
 
-        Every field defaults, so even a bare ``{}`` (a legitimately empty
-        result artifact) rebuilds into an empty result instead of raising.
+        ``rows`` and ``notes`` default so older artifacts without them
+        resume cleanly, and a bare ``{}`` (a legitimately empty result
+        artifact) rebuilds into an empty result.  Any other payload must
+        carry its ``experiment`` name: a corrupted store entry should fail
+        loudly on resume, not round-trip as a nameless result.
         """
+        if not data:
+            return cls(experiment="")
         return cls(
-            experiment=str(data.get("experiment", "")),
+            experiment=str(data["experiment"]),
             rows=[dict(row) for row in data.get("rows", [])],
             notes=str(data.get("notes", "")),
         )
+
+    @classmethod
+    def from_optional_dict(
+        cls, data: Optional[Dict[str, object]]
+    ) -> Optional["ExperimentResult"]:
+        """:meth:`from_dict` for an optional payload: ``None`` stays ``None``.
+
+        The shared deserialization contract for run outcomes and store
+        entries -- ``is not None``, never truthiness, so an empty-but-present
+        payload rebuilds into an (empty) result instead of being dropped.
+        """
+        if data is None:
+            return None
+        return cls.from_dict(data)
 
     def to_csv(self) -> str:
         """The rows as RFC-4180 CSV text (header + one line per row).

@@ -10,7 +10,7 @@ completion times.
 
 from repro.netsim.link import Link
 from repro.netsim.host import Host
-from repro.netsim.routing import EcmpRoutingTable
+from repro.netsim.routing import EcmpRoutingTable, switch_salt
 from repro.netsim.switch_node import SwitchNode
 from repro.netsim.network import Network
 from repro.netsim.transport import (
@@ -36,4 +36,5 @@ __all__ = [
     "SwitchNode",
     "TransportConfig",
     "make_transport",
+    "switch_salt",
 ]

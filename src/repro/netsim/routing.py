@@ -13,6 +13,7 @@ fabric-level helpers multi-stage topologies (leaf-spine, fat-tree) build on:
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Tuple
 
 from repro.switchsim.packet import Packet
@@ -28,6 +29,16 @@ def _mix(a: int, b: int, c: int) -> int:
     return h
 
 
+def switch_salt(name: str) -> int:
+    """A deterministic 32-bit ECMP salt for the switch called ``name``.
+
+    CRC32 of the name bytes: stable across processes and Python versions
+    (unlike ``hash(str)``), so salted path choices stay byte-identical
+    between a serial run and ``--jobs N`` workers.
+    """
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
 class EcmpRoutingTable:
     """Destination-host routing with ECMP spreading over uplink ports.
 
@@ -35,9 +46,18 @@ class EcmpRoutingTable:
     (downlinks / locally attached hosts), falling back to an ECMP hash over
     the registered uplink ports.  The hash covers (src, dst, flow id) so all
     packets of one flow take the same path -- no reordering due to routing.
+
+    ``salt`` perturbs the hash per switch.  With the default of 0 every
+    table hashes identically, which is fine for single-ECMP-stage fabrics
+    (leaf-spine) but polarizes multi-stage ones: when consecutive stages
+    have the same fan-out, every switch of stage N+1 repeats stage N's
+    choice and most equal-cost paths never carry traffic.  Multi-stage
+    topologies must give each switch a distinct deterministic salt (see
+    :func:`switch_salt`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, salt: int = 0) -> None:
+        self._salt = salt & 0xFFFFFFFF
         self._host_routes: Dict[int, int] = {}
         self._uplinks: List[int] = []
         #: Memoized ECMP picks keyed by (src, dst, flow_id).  The hash is a
@@ -60,6 +80,15 @@ class EcmpRoutingTable:
     def add_uplinks(self, port_ids) -> None:
         for port_id in port_ids:
             self.add_uplink(port_id)
+
+    @property
+    def salt(self) -> int:
+        return self._salt
+
+    def set_salt(self, salt: int) -> None:
+        """Set the per-switch hash salt (invalidates memoized picks)."""
+        self._salt = salt & 0xFFFFFFFF
+        self._ecmp_cache.clear()
 
     @property
     def uplinks(self) -> List[int]:
@@ -87,7 +116,7 @@ class EcmpRoutingTable:
                     f"no route for destination host {dst} "
                     "and no uplinks configured"
                 )
-            index = _mix(src, dst, flow_id) % len(self._uplinks)
+            index = _mix(src ^ self._salt, dst, flow_id) % len(self._uplinks)
             port = self._uplinks[index]
             self._ecmp_cache[key] = port
         return port

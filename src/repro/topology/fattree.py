@@ -1,4 +1,4 @@
-"""A k-ary fat-tree fabric (Al-Fahad et al., SIGCOMM 2008 numbering).
+"""A k-ary fat-tree fabric (Al-Fares et al., SIGCOMM 2008 numbering).
 
 The first topology in the zoo with more than two switch stages: ``k`` pods,
 each with ``k/2`` edge and ``k/2`` aggregation switches, plus ``(k/2)^2``
@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.base import BufferManager
 from repro.netsim.network import Network
-from repro.netsim.routing import PathEnumerator, trace_path
+from repro.netsim.routing import PathEnumerator, switch_salt, trace_path
 from repro.netsim.switch_node import SwitchNode
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, KB
@@ -117,6 +117,11 @@ class FatTreeTopology:
                 name=name,
             )
             node = SwitchNode(name, self.sim, config, manager_factory())
+            # Distinct per-switch salts keep the edge and aggregation ECMP
+            # stages decorrelated: both have k/2 uplinks, so an unsalted
+            # hash would repeat the edge's pick at the agg and leave all
+            # but the "diagonal" cores idle.
+            node.routing.set_salt(switch_salt(name))
             self.network.add_switch(node)
             return node
 

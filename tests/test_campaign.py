@@ -48,6 +48,16 @@ class TestExperimentResultRoundTrip:
         assert type(rebuilt.rows[0]["a"]) is int
         assert type(rebuilt.rows[0]["b"]) is float
 
+    def test_corrupt_payload_fails_loudly(self):
+        # A non-empty payload without an experiment name is a corrupt store
+        # entry and must raise on resume, not rebuild as a nameless result.
+        with pytest.raises(KeyError):
+            ExperimentResult.from_dict({"rows": [{"a": 1}]})
+        # A bare {} is a legitimately empty artifact, not corruption.
+        empty = ExperimentResult.from_dict({})
+        assert empty.experiment == ""
+        assert empty.rows == []
+
     def test_to_dict_copies_rows(self):
         result = ExperimentResult("demo")
         result.add_row(a=1)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import CompleteSharing, DynamicThreshold, Occamy
-from repro.netsim import EcmpRoutingTable, TransportConfig
+from repro.netsim import EcmpRoutingTable, TransportConfig, switch_salt
 from repro.netsim.transport import make_transport
 from repro.netsim.transport.base import ReceiverState
 from repro.sim.units import GBPS, KB
@@ -33,6 +33,27 @@ class TestRouting:
     def test_no_route_raises(self):
         with pytest.raises(LookupError):
             EcmpRoutingTable().route(Packet(size_bytes=100, dst=9))
+
+    def test_salt_decorrelates_tables(self):
+        # Two switches with the same uplink set must not make identical
+        # picks for every flow once salted, or multi-stage ECMP polarizes.
+        plain = EcmpRoutingTable()
+        salted = EcmpRoutingTable(salt=switch_salt("agg0_0"))
+        for table in (plain, salted):
+            table.add_uplinks([0, 1, 2, 3])
+        flows = range(64)
+        assert [plain.egress_for(1, 2, f) for f in flows] != \
+               [salted.egress_for(1, 2, f) for f in flows]
+
+    def test_salt_is_deterministic_and_set_salt_invalidates_memo(self):
+        assert switch_salt("core0") == switch_salt("core0")
+        assert switch_salt("core0") != switch_salt("core1")
+        table = EcmpRoutingTable()
+        table.add_uplinks([0, 1, 2, 3])
+        before = [table.egress_for(1, 2, f) for f in range(64)]
+        table.set_salt(switch_salt("core0"))
+        after = [table.egress_for(1, 2, f) for f in range(64)]
+        assert before != after  # memoized picks were recomputed
 
 
 class TestTransportFactory:

@@ -87,10 +87,29 @@ class TestFatTreePaths:
         for flow_id in range(40):
             assert topo.path_of_flow(0, 15, flow_id) in paths
 
-    def test_ecmp_spreads_flows_over_multiple_paths(self):
+    def test_ecmp_exercises_every_equal_cost_path(self):
+        # Regression for cross-stage hash polarization: edge and agg both
+        # have k/2 uplinks, so without per-switch salts the agg repeats the
+        # edge's pick and only the "diagonal" cores ever carry traffic.
+        # Over many flow ids the traced paths must cover the FULL enumerated
+        # path set -- all (k/2)^2 of them, i.e. every core.
         topo = _fat_tree(k=4)
-        chosen = {topo.path_of_flow(0, 15, flow_id) for flow_id in range(64)}
-        assert len(chosen) > 1
+        all_paths = set(topo.paths_between(0, 15))
+        assert len(all_paths) == 4
+        chosen = {topo.path_of_flow(0, 15, flow_id) for flow_id in range(256)}
+        assert chosen == all_paths
+
+    def test_every_core_carries_traffic_across_host_pairs(self):
+        # The stronger fabric-wide form: sweeping inter-pod host pairs and
+        # flow ids must light up every core switch, not a polarized subset.
+        topo = _fat_tree(k=4)
+        cores_used = set()
+        for src in topo.hosts_of_pod(0):
+            for dst in topo.hosts_of_pod(1):
+                for flow_id in range(16):
+                    path = topo.path_of_flow(src, dst, flow_id)
+                    cores_used.add(path[2])
+        assert cores_used == {core.name for core in topo.cores}
 
     def test_trace_path_matches_shared_ecmp_memo(self):
         # trace_path resolves through the same per-table memo the data path
