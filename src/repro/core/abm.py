@@ -55,6 +55,11 @@ class ABM(BufferManager):
         super().detach()
         self._port_rate_bytes = []
 
+    def on_port_rate_changed(self, port_id: int, rate_bps: float) -> None:
+        """Keep the attach-time rate cache in sync with per-link retuning."""
+        if self._port_rate_bytes:
+            self._port_rate_bytes[port_id] = rate_bps / 8.0
+
     def threshold(self, queue: QueueView, now: float) -> float:
         # Hot path: the active-queue count is O(1) (maintained incrementally
         # by the switch) and the port rate comes from the attach-time cache.

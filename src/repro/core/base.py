@@ -179,6 +179,14 @@ class BufferManager:
     def on_drop(self, queue: QueueView, packet_bytes: int, now: float, reason: str) -> None:
         """Called after a packet has been dropped (admission or expulsion)."""
 
+    def on_port_rate_changed(self, port_id: int, rate_bps: float) -> None:
+        """Called when an egress port's line rate is retuned after attach.
+
+        The fabric layer retunes ports when a link with its own rate (or a
+        degradation factor) is wired to them; schemes that cache port rates
+        at attach time (ABM) refresh their cache here.
+        """
+
     def reset(self) -> None:
         """Clear any internal state (called when the switch resets)."""
 

@@ -50,8 +50,15 @@ class Host:
     # Wiring
     # ------------------------------------------------------------------
     def attach_link(self, link: "Link") -> None:
-        """Attach the uplink towards the access switch."""
+        """Attach the uplink towards the access switch.
+
+        A link carrying its own rate identity retunes the NIC: the host
+        serializes at the *link's* effective rate (degraded host uplinks).
+        """
         self.link = link
+        rate = link.effective_rate_bps
+        if rate is not None:
+            self.nic_rate_bps = rate
 
     def add_sender(self, transport: "SenderTransport") -> None:
         self.senders[transport.spec.flow_id] = transport

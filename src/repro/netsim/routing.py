@@ -9,14 +9,26 @@ fabric-level helpers multi-stage topologies (leaf-spine, fat-tree) build on:
   memoized per (switch, destination) subproblem so enumerating all paths of
   a k-ary fat-tree costs one DFS per distinct suffix instead of one per
   source.
+
+The table understands asymmetric fabrics: every uplink carries a *capacity
+weight* (flows spread proportionally to it -- WCMP-style member selection),
+an uplink can be *disabled* outright (its link failed), and an uplink can be
+*excluded for specific destination hosts* (it is alive, but the only way from
+its far end to those hosts crosses a failed link).  With default weights and
+no failures every code path degenerates to the classic uniform ECMP hash, so
+symmetric fabrics behave byte-identically to the pre-fabric-model code.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.switchsim.packet import Packet
+
+#: Cap on the per-member slots of the weighted selection vector, bounding its
+#: size for extreme capacity ratios (a 100:1 link pair still yields 64:1).
+MAX_WEIGHT_SLOTS = 64
 
 
 def _mix(a: int, b: int, c: int) -> int:
@@ -60,26 +72,67 @@ class EcmpRoutingTable:
         self._salt = salt & 0xFFFFFFFF
         self._host_routes: Dict[int, int] = {}
         self._uplinks: List[int] = []
+        #: Capacity weight per uplink port (absent = 1.0).  Flows spread
+        #: proportionally: a port with twice the weight receives ~twice the
+        #: flows (WCMP member replication).
+        self._weights: Dict[int, float] = {}
+        #: Uplinks whose link failed outright: never candidates, for any dst.
+        self._disabled: Set[int] = set()
+        #: Per-destination exclusions: dst host -> ports that must not be
+        #: used towards it (the far end cannot reach the dst without
+        #: crossing a failed link).
+        self._excluded: Dict[int, Set[int]] = {}
         #: Memoized ECMP picks keyed by (src, dst, flow_id).  The hash is a
         #: pure function of that key and the uplink list, so per-flow lookups
         #: replace recomputing the mix for every packet; any topology change
         #: invalidates the cache.
         self._ecmp_cache: Dict[tuple, int] = {}
+        #: Memoized selection vectors: ``None`` key = the dst-independent
+        #: vector, int keys = per-destination vectors for excluded dsts.
+        self._selections: Dict[Optional[int], List[int]] = {}
+
+    # -- mutation ------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._ecmp_cache.clear()
+        self._selections.clear()
 
     def add_host_route(self, dst_host: int, port_id: int) -> None:
         """Send traffic for ``dst_host`` out of ``port_id``."""
         self._host_routes[dst_host] = port_id
-        self._ecmp_cache.clear()
+        self._invalidate()
 
     def add_uplink(self, port_id: int) -> None:
         """Register an uplink port participating in ECMP."""
         if port_id not in self._uplinks:
             self._uplinks.append(port_id)
-            self._ecmp_cache.clear()
+            self._invalidate()
 
     def add_uplinks(self, port_ids) -> None:
         for port_id in port_ids:
             self.add_uplink(port_id)
+
+    def set_uplink_weight(self, port_id: int, weight: float) -> None:
+        """Set the capacity weight of an uplink (flows spread ~ weight)."""
+        if not weight > 0:
+            raise ValueError(f"uplink weight must be positive, got {weight!r}")
+        if port_id not in self._uplinks:
+            raise ValueError(f"port {port_id} is not a registered uplink")
+        self._weights[port_id] = weight
+        self._invalidate()
+
+    def disable_uplink(self, port_id: int) -> None:
+        """Remove an uplink from every candidate set (its link failed)."""
+        if port_id not in self._uplinks:
+            raise ValueError(f"port {port_id} is not a registered uplink")
+        self._disabled.add(port_id)
+        self._invalidate()
+
+    def exclude_uplink_for(self, port_id: int, dst_host: int) -> None:
+        """Exclude ``port_id`` for traffic towards ``dst_host`` only."""
+        if port_id not in self._uplinks:
+            raise ValueError(f"port {port_id} is not a registered uplink")
+        self._excluded.setdefault(dst_host, set()).add(port_id)
+        self._invalidate()
 
     @property
     def salt(self) -> int:
@@ -88,12 +141,58 @@ class EcmpRoutingTable:
     def set_salt(self, salt: int) -> None:
         """Set the per-switch hash salt (invalidates memoized picks)."""
         self._salt = salt & 0xFFFFFFFF
-        self._ecmp_cache.clear()
+        self._invalidate()
 
     @property
     def uplinks(self) -> List[int]:
         return list(self._uplinks)
 
+    @property
+    def disabled_uplinks(self) -> List[int]:
+        return sorted(self._disabled)
+
+    def uplink_weight(self, port_id: int) -> float:
+        return self._weights.get(port_id, 1.0)
+
+    # -- selection -----------------------------------------------------
+    def _surviving_members(self, dst: int) -> List[int]:
+        """Uplinks still eligible towards ``dst`` (not failed, not excluded).
+
+        The single place routing and path enumeration agree on which ECMP
+        members survive; raises when the destination has none left.
+        """
+        excluded = self._excluded.get(dst)
+        members = [p for p in self._uplinks if p not in self._disabled
+                   and (excluded is None or p not in excluded)]
+        if not members:
+            raise LookupError(
+                f"no surviving uplink towards host {dst}: all of "
+                f"{self._uplinks} are failed or excluded")
+        return members
+
+    def _selection_for(self, dst: int) -> List[int]:
+        """The weighted member-selection vector for traffic towards ``dst``.
+
+        With uniform weights and no failures this is exactly the uplink list
+        (so ``hash % len`` reproduces the classic ECMP pick); otherwise each
+        eligible port appears ``round(weight / min_weight)`` times, spreading
+        flows proportionally to capacity.
+        """
+        key = dst if dst in self._excluded else None
+        selection = self._selections.get(key)
+        if selection is not None:
+            return selection
+        members = self._surviving_members(dst)
+        weights = [self._weights.get(p, 1.0) for p in members]
+        min_weight = min(weights)
+        selection = []
+        for port, weight in zip(members, weights):
+            slots = round(weight / min_weight)
+            selection.extend([port] * min(MAX_WEIGHT_SLOTS, max(1, slots)))
+        self._selections[key] = selection
+        return selection
+
+    # -- lookup --------------------------------------------------------
     def route(self, packet: Packet) -> int:
         """Return the egress port for ``packet``."""
         return self.egress_for(packet.src, packet.dst, packet.flow_id)
@@ -116,16 +215,19 @@ class EcmpRoutingTable:
                     f"no route for destination host {dst} "
                     "and no uplinks configured"
                 )
-            index = _mix(src ^ self._salt, dst, flow_id) % len(self._uplinks)
-            port = self._uplinks[index]
+            selection = self._selection_for(dst)
+            index = _mix(src ^ self._salt, dst, flow_id) % len(selection)
+            port = selection[index]
             self._ecmp_cache[key] = port
         return port
 
     def candidate_ports(self, dst: int) -> List[int]:
         """Every port a packet towards ``dst`` may leave through.
 
-        One port for an exact host route, otherwise all registered uplinks
-        (the ECMP spread).  This is the branching set path enumeration walks.
+        One port for an exact host route, otherwise the surviving uplinks
+        (the ECMP spread minus failed/excluded members).  This is the
+        branching set path enumeration walks, so enumerated paths provably
+        avoid failed links.
         """
         port = self._host_routes.get(dst)
         if port is not None:
@@ -134,7 +236,7 @@ class EcmpRoutingTable:
             raise LookupError(
                 f"no route for destination host {dst} and no uplinks configured"
             )
-        return list(self._uplinks)
+        return self._surviving_members(dst)
 
 
 def _next_node(node, port: int):
@@ -182,7 +284,8 @@ class PathEnumerator:
     fat-tree every edge switch of a pod shares its aggregation switches'
     (and their cores') suffixes, so enumerating all ``(k/2)^2`` inter-pod
     paths costs one walk over the fabric instead of one DFS per source.
-    A topology change invalidates the enumerator -- build a fresh one.
+    A topology change (including failure injection) invalidates the
+    enumerator -- build a fresh one.
     """
 
     def __init__(self, max_hops: int = 32) -> None:

@@ -31,10 +31,18 @@ class SwitchNode:
     # Wiring
     # ------------------------------------------------------------------
     def connect(self, port_id: int, link: Link) -> None:
-        """Attach the outgoing ``link`` to egress ``port_id``."""
+        """Attach the outgoing ``link`` to egress ``port_id``.
+
+        A link carrying its own rate identity retunes the port: packets
+        serialize at the *link's* effective rate, not the switch-wide
+        nominal rate (per-tier rates, degraded links).
+        """
         if not 0 <= port_id < self.switch.port_count:
             raise ValueError(f"switch {self.name} has no port {port_id}")
         self._links[port_id] = link
+        rate = link.effective_rate_bps
+        if rate is not None and rate != self.switch.ports[port_id].rate_bps:
+            self.switch.set_port_rate(port_id, rate)
 
     def link_for(self, port_id: int) -> Optional[Link]:
         return self._links.get(port_id)

@@ -4,7 +4,7 @@ A :class:`PerfCase` names a representative scenario at a given tier
 (``small`` runs in well under a second and feeds the CI tripwire; ``medium``
 runs for a few seconds and is the scale optimization work is judged at) and
 builds a fresh :class:`~repro.scenario.spec.ScenarioSpec` for every
-measurement.  The five built-in families cover every hot path of the
+measurement.  The six built-in families cover every hot path of the
 simulation core:
 
 * ``incast_single_switch`` -- the DPDK-testbed shape: DCTCP incast queries +
@@ -14,6 +14,9 @@ simulation core:
   with ECMP routing across the spines;
 * ``websearch_fat_tree`` -- the multi-stage fabric shape: a k=4 fat-tree
   with two ECMP stages and 4-5 switch hops per inter-pod flow;
+* ``websearch_fattree_degraded`` -- the asymmetric-fabric shape: the same
+  fat-tree with a failed agg<->core link and a half-rate edge<->agg uplink
+  (failure-pruned routing + capacity-weighted ECMP);
 * ``dumbbell_burst`` -- two switches, cross traffic plus a synchronized
   burst (Occamy's expulsion engine under pressure);
 * ``raw_switch_stream`` -- the P4-prototype shape: raw packet arrivals on a
@@ -37,6 +40,7 @@ from repro.scenario.builders import (
 )
 from repro.scenario.scales import get_scale
 from repro.scenario.spec import (
+    FabricSpec,
     ScenarioSpec,
     SchemeSpec,
     TopologySpec,
@@ -157,6 +161,28 @@ def _websearch_fat_tree(tier: str) -> ScenarioSpec:
     )
 
 
+def _websearch_fattree_degraded(tier: str) -> ScenarioSpec:
+    # The asymmetric-fabric shape: the fat-tree case with one failed
+    # agg<->core link (routing prune + exclusion sets on the hot path) and
+    # one half-rate edge<->agg uplink (capacity-weighted ECMP, per-link
+    # serialization rates) -- the fabric-model machinery under load.
+    if tier == "small":
+        config = replace(get_scale("bench"), fabric_duration=0.0015)
+    else:
+        config = replace(get_scale("small"), fabric_duration=0.004)
+    return fat_tree_scenario(
+        scheme="dt",
+        config=config,
+        query_size_bytes=int(0.6 * config.fabric_buffer_bytes_per_port * 8),
+        background_load=0.5,
+        fabric=FabricSpec(
+            failures=[["agg0_0", "core1"]],
+            degraded=[["edge0_0", "agg0_0", 0.5]],
+        ),
+        name=f"perf_websearch_fattree_degraded_{tier}",
+    )
+
+
 def _dumbbell_burst(tier: str) -> ScenarioSpec:
     # Occamy on a dumbbell: steady cross traffic keeps the bottleneck busy
     # while a synchronized burst exercises the expulsion engine.
@@ -218,6 +244,10 @@ _BUILDERS = {
     "websearch_fat_tree": (
         _websearch_fat_tree,
         "k=4 fat-tree, multi-stage ECMP, incast + websearch background",
+    ),
+    "websearch_fattree_degraded": (
+        _websearch_fattree_degraded,
+        "k=4 fat-tree with a failed core link + half-rate uplink (WCMP)",
     ),
     "dumbbell_burst": (
         _dumbbell_burst,

@@ -30,6 +30,7 @@ from repro.scenario.builders import (
 from repro.scenario.runner import ScenarioResult, ScenarioRunner, run_scenario
 from repro.scenario.scales import ScenarioConfig, get_scale
 from repro.scenario.spec import (
+    FabricSpec,
     ScenarioSpec,
     SchemeSpec,
     TopologySpec,
@@ -58,6 +59,7 @@ from repro.scenario.workloads import (
 )
 
 __all__ = [
+    "FabricSpec",
     "ScenarioConfig",
     "ScenarioResult",
     "ScenarioRunner",

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.scenario.scales import ScenarioConfig
 from repro.scenario.spec import (
+    FabricSpec,
     ScenarioSpec,
     SchemeSpec,
     TopologySpec,
@@ -93,9 +94,14 @@ def single_switch_scenario(
     scheme_kwargs: Optional[Dict[str, object]] = None,
     extra_flows: Optional[Sequence[FlowLike]] = None,
     include_background: bool = True,
+    fabric: Optional[FabricSpec] = None,
     name: str = "single_switch",
 ) -> ScenarioSpec:
-    """The DPDK-testbed scenario: incast queries + web-search background."""
+    """The DPDK-testbed scenario: incast queries + web-search background.
+
+    ``fabric`` injects the fabric model (the star's single tier is
+    ``host``; degraded host links are supported, failures are not).
+    """
     servers = config.num_hosts - 1
     workloads: List[WorkloadSpec] = [
         WorkloadSpec(
@@ -145,6 +151,7 @@ def single_switch_scenario(
         workloads=workloads,
         transport=TransportSpec(protocol="dctcp",
                                 config={"min_rto": config.min_rto}),
+        fabric=fabric or FabricSpec(),
         duration=config.duration,
         run_slack=config.run_slack,
         seed=seed,
@@ -163,9 +170,14 @@ def leaf_spine_scenario(
     query_load_queries: Optional[int] = None,
     scheme_kwargs: Optional[Dict[str, object]] = None,
     buffer_bytes_per_port: Optional[int] = None,
+    fabric: Optional[FabricSpec] = None,
     name: str = "leaf_spine",
 ) -> ScenarioSpec:
-    """The ns-3-style leaf-spine scenario (Section 6.4)."""
+    """The ns-3-style leaf-spine scenario (Section 6.4).
+
+    ``fabric`` injects the asymmetric fabric model (tiers ``host`` /
+    ``spine``, failures such as ``["leaf0", "spine1"]``, degradations).
+    """
     num_hosts = config.num_leaves * config.hosts_per_leaf
     num_queries = (query_load_queries if query_load_queries is not None
                    else config.fabric_queries)
@@ -224,6 +236,7 @@ def leaf_spine_scenario(
         workloads=workloads,
         transport=TransportSpec(protocol="dctcp",
                                 config={"min_rto": config.min_rto}),
+        fabric=fabric or FabricSpec(),
         duration=config.fabric_duration,
         run_slack=config.run_slack,
         seed=seed,
@@ -242,6 +255,7 @@ def fat_tree_scenario(
     oversubscription: float = 1.0,
     scheme_kwargs: Optional[Dict[str, object]] = None,
     buffer_bytes_per_port: Optional[int] = None,
+    fabric: Optional[FabricSpec] = None,
     name: str = "fat_tree",
 ) -> ScenarioSpec:
     """The fat-tree analogue of :func:`leaf_spine_scenario`.
@@ -250,7 +264,8 @@ def fat_tree_scenario(
     the standing multi-stage stress scenario.  ``background_kind`` accepts
     ``websearch`` (per-host Poisson load), ``permutation`` (one
     ``background_flow_size`` flow per host along a random derangement) or
-    the collectives (``all_to_all`` / ``all_reduce``).
+    the collectives (``all_to_all`` / ``all_reduce``).  ``fabric`` injects
+    the asymmetric fabric model (per-tier rates, failed/degraded links).
     """
     k = config.fattree_k
     hosts_per_edge = max(1, round(config.fattree_hosts_per_edge
@@ -321,6 +336,7 @@ def fat_tree_scenario(
         workloads=workloads,
         transport=TransportSpec(protocol="dctcp",
                                 config={"min_rto": config.min_rto}),
+        fabric=fabric or FabricSpec(),
         duration=config.fabric_duration,
         run_slack=config.run_slack,
         seed=seed,
@@ -337,6 +353,7 @@ def packet_burst_scenario(
     buffer_bytes: int = 0,
     memory_bandwidth_bps: Optional[float] = None,
     duration: float = 0.0,
+    fabric: Optional[FabricSpec] = None,
     name: str = "packet_burst",
 ) -> ScenarioSpec:
     """A P4-prototype-style packet-level scenario on a bare switch.
@@ -344,7 +361,8 @@ def packet_burst_scenario(
     ``stream_specs`` / ``burst_specs`` are parameter dicts for the
     ``packet_stream`` / ``packet_burst`` workloads (rate, port, timing).
     Streams are scheduled before bursts, in the given order, which pins the
-    tie-break order of simultaneous arrivals.
+    tie-break order of simultaneous arrivals.  ``fabric`` supports the bare
+    switch's tier (``port``) and per-port ``[port_id, factor]`` degradation.
     """
     workloads: List[WorkloadSpec] = []
     for params in stream_specs or []:
@@ -364,6 +382,7 @@ def packet_burst_scenario(
         scheme=SchemeSpec(name=scheme, kwargs=dict(scheme_kwargs or {})),
         topology=TopologySpec(kind="raw_switch", params=topo_params),
         workloads=workloads,
+        fabric=fabric or FabricSpec(),
         duration=duration,
         run_slack=1.0,
     )

@@ -10,6 +10,7 @@ The module also backs ``python -m repro.scenario``::
     python -m repro.scenario run examples/scenario_dumbbell_burst.json
     python -m repro.scenario run spec.json --seed 3 --json
     python -m repro.scenario registries
+    python -m repro.scenario validate examples/*.json
 """
 
 from __future__ import annotations
@@ -72,6 +73,83 @@ def _cmd_registries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_fabric_resolves(spec: ScenarioSpec, seen: set) -> None:
+    """Build the topology of a non-default-fabric spec (no traffic).
+
+    Registry validation cannot see fabric *contents* -- whether
+    ``failures``/``degraded`` endpoint names and ``tier_rates`` tier names
+    actually exist is decided by the topology builder.  Constructing the
+    (traffic-free) topology resolves them, so a renamed switch or tier in
+    an example document fails validation instead of failing at run time.
+    Distinct (topology, fabric) combinations are built once per call.
+    """
+    from repro.core.registry import make_buffer_manager
+    from repro.scenario.spec import canonical_json
+    from repro.scenario.topologies import make_topology
+
+    if spec.fabric.is_default():
+        return
+    key = canonical_json([spec.topology.to_dict(), spec.fabric.to_dict()])
+    if key in seen:
+        return
+    seen.add(key)
+    make_topology(spec.topology.kind, lambda: make_buffer_manager("dt"),
+                  **spec.resolved_topology_params())
+
+
+def validate_spec_file(path: str) -> str:
+    """Parse and validate one spec document; returns its detected kind.
+
+    Scenario documents (no ``grids`` key) go through
+    :class:`~repro.scenario.spec.ScenarioSpec` plus the runner's registry
+    validation; campaign documents through
+    :class:`~repro.campaign.spec.SweepSpec` expansion, with every embedded
+    scenario document validated the same way.  Non-default fabric sections
+    additionally build their (traffic-free) topology so failure/degradation
+    endpoint names and tier names resolve.  Raises on the first problem, so
+    stale example specs fail CI instead of rotting silently.
+    """
+    from repro.campaign.spec import SweepSpec
+    from repro.scenario.runner import ScenarioRunner
+
+    with open(path) as handle:
+        document = json.load(handle)
+    runner = ScenarioRunner()
+    built: set = set()
+    if isinstance(document, dict) and "grids" in document:
+        sweep = SweepSpec.from_dict(document)
+        runs = sweep.expand()
+        if not runs:
+            raise ValueError(f"campaign {path} expands to zero runs")
+        for run_spec in runs:
+            embedded = run_spec.params.get("scenario")
+            if embedded is not None:
+                spec = ScenarioSpec.from_dict(embedded)
+                runner.validate(spec)
+                _validate_fabric_resolves(spec, built)
+        return f"campaign ({len(runs)} runs)"
+    spec = ScenarioSpec.from_dict(document)
+    runner.validate(spec)
+    _validate_fabric_resolves(spec, built)
+    return "scenario"
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.specs:
+        try:
+            kind = validate_spec_file(path)
+        except Exception as exc:  # noqa: BLE001 - report every parse error
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+        else:
+            print(f"ok   {path} [{kind}]")
+    if failures:
+        print(f"{failures} of {len(args.specs)} spec files failed validation")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenario",
@@ -91,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_reg = sub.add_parser("registries",
                            help="list registered schemes/topologies/workloads")
     p_reg.set_defaults(func=_cmd_registries)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="parse scenario/campaign JSON documents (CI example smoke)")
+    p_val.add_argument("specs", nargs="+",
+                       help="paths to scenario or campaign JSON files")
+    p_val.set_defaults(func=_cmd_validate)
     return parser
 
 

@@ -133,9 +133,15 @@ class ScenarioResult:
             "switches": [s.stats.summary() for s in self.switches()],
         }
         if self.flow_stats is not None:
+            # Full per-flow identity (not just timing): the document doubles
+            # as a flow trace, replayable via the ``trace_replay`` workload.
             doc["flows"] = [
                 {
                     "flow_id": record.flow_id,
+                    "src": record.src,
+                    "dst": record.dst,
+                    "size_bytes": record.size_bytes,
+                    "priority": record.priority,
                     "start_time": record.start_time,
                     "finish_time": record.finish_time,
                 }
@@ -166,7 +172,7 @@ class ScenarioRunner:
             spec.scheme.name, **spec.scheme.kwargs)
         level = topology_level(spec.topology.kind)
         topology = make_topology(spec.topology.kind, manager_factory,
-                                 **spec.topology.params)
+                                 **spec.resolved_topology_params())
         self._apply_alpha_overrides(spec, topology)
 
         rng = SeededRNG(spec.seed)
@@ -214,6 +220,8 @@ class ScenarioRunner:
             raise ValueError("scenario duration must be positive")
         if spec.run_slack <= 0:
             raise ValueError("run_slack must be positive")
+        spec.fabric.validate()
+        spec.resolved_topology_params()  # fabric/topology collision check
         # Protocol names resolve eagerly too (raises KeyError on typos).
         make_transport(spec.transport.protocol)
         for workload in spec.workloads:

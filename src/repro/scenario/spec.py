@@ -116,6 +116,91 @@ class WorkloadSpec:
 
 
 @dataclass
+class FabricSpec:
+    """The fabric model of a scenario: per-tier rates, failures, degradation.
+
+    Attributes:
+        tier_rates: per-tier link-rate overrides, keyed by the topology's
+            tier names (e.g. ``{"core": 40e9}`` on a fat-tree; tiers are
+            ``host``/``agg``/``core`` for ``fat_tree``, ``host``/``spine``
+            for ``leaf_spine``, ``host``/``trunk`` for ``dumbbell``,
+            ``host`` for ``single_switch``, ``port`` for ``raw_switch``).
+        failures: failed links as ``[a, b]`` endpoint-name pairs (e.g.
+            ``["agg0_0", "core1"]``); both directions fail and routing is
+            pruned so no candidate path crosses them.
+        degraded: capacity degradations as ``[a, b, factor]`` triples with
+            ``factor`` in (0, 1] (``[port_id, factor]`` pairs on
+            ``raw_switch``); serialization and ECMP weights scale.
+
+    The default (all empty) is exactly the symmetric single-rate fabric, and
+    a default fabric is *omitted* from :meth:`ScenarioSpec.to_dict`, so
+    pre-fabric scenario documents, config hashes and goldens are unchanged.
+    """
+
+    tier_rates: Dict[str, float] = field(default_factory=dict)
+    failures: List[List[object]] = field(default_factory=list)
+    degraded: List[List[object]] = field(default_factory=list)
+
+    def is_default(self) -> bool:
+        return not (self.tier_rates or self.failures or self.degraded)
+
+    def validate(self) -> None:
+        """Shape-check the declarative fields with precise messages."""
+        for tier, rate in self.tier_rates.items():
+            if not float(rate) > 0:
+                raise ValueError(
+                    f"fabric.tier_rates[{tier!r}] must be positive, "
+                    f"got {rate!r}")
+        for entry in self.failures:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ValueError(
+                    f"fabric.failures entries must be [a, b] endpoint "
+                    f"pairs, got {entry!r}")
+        for entry in self.degraded:
+            if not isinstance(entry, (list, tuple)) or len(entry) not in (2, 3):
+                raise ValueError(
+                    "fabric.degraded entries must be [a, b, factor] "
+                    f"(or [port, factor] on raw_switch), got {entry!r}")
+            factor = float(entry[-1])
+            if not 0 < factor <= 1:
+                raise ValueError(
+                    f"fabric.degraded factor must be in (0, 1], got {factor!r}")
+
+    def topology_kwargs(self) -> Dict[str, object]:
+        """The builder keyword arguments this fabric adds to a topology."""
+        kwargs: Dict[str, object] = {}
+        if self.tier_rates:
+            kwargs["tier_rates"] = {k: float(v)
+                                    for k, v in self.tier_rates.items()}
+        if self.failures:
+            kwargs["failures"] = [list(entry) for entry in self.failures]
+        if self.degraded:
+            kwargs["degraded"] = [list(entry) for entry in self.degraded]
+        return kwargs
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tier_rates": {str(k): float(v)
+                           for k, v in sorted(self.tier_rates.items())},
+            "failures": [list(entry) for entry in self.failures],
+            "degraded": [list(entry) for entry in self.degraded],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, object]]) -> "FabricSpec":
+        if data is None:
+            return cls()
+        spec = cls(
+            tier_rates={str(k): float(v)
+                        for k, v in dict(data.get("tier_rates", {})).items()},
+            failures=[list(entry) for entry in data.get("failures", [])],
+            degraded=[list(entry) for entry in data.get("degraded", [])],
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
 class TransportSpec:
     """Transport configuration: default protocol + config profile/overrides.
 
@@ -158,6 +243,12 @@ class ScenarioSpec:
             hash, so renaming a scenario invalidates cached campaign results
             -- rename with intent.
         scheme / topology / workloads / transport: the four composed specs.
+        fabric: the link-level fabric model (per-tier rates, failed and
+            degraded links); the default is the symmetric single-rate
+            fabric and is omitted from the canonical document, so existing
+            hashes are stable.  Campaign sweeps address it with dotted
+            axes such as ``fabric.tier_rates.core`` or
+            ``fabric.failures[0]``.
         duration: workload generation window in seconds; generators emit
             traffic within ``[0, duration)``.
         run_slack: the simulation runs until ``duration * run_slack`` so
@@ -174,13 +265,14 @@ class ScenarioSpec:
     topology: TopologySpec
     workloads: List[WorkloadSpec] = field(default_factory=list)
     transport: TransportSpec = field(default_factory=TransportSpec)
+    fabric: FabricSpec = field(default_factory=FabricSpec)
     duration: float = 0.02
     run_slack: float = 10.0
     seed: int = 0
     alpha_overrides: Dict[int, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "name": self.name,
             "scheme": self.scheme.to_dict(),
             "topology": self.topology.to_dict(),
@@ -195,6 +287,12 @@ class ScenarioSpec:
                 str(k): float(v) for k, v in self.alpha_overrides.items()
             },
         }
+        # A default fabric is omitted: pre-fabric documents and config
+        # hashes stay byte-identical (and campaign --resume caches stay
+        # valid) for every symmetric scenario.
+        if not self.fabric.is_default():
+            doc["fabric"] = self.fabric.to_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
@@ -207,6 +305,7 @@ class ScenarioSpec:
             topology=TopologySpec.from_dict(data["topology"]),
             workloads=[WorkloadSpec.from_dict(w) for w in workloads],
             transport=TransportSpec.from_dict(data.get("transport", {})),
+            fabric=FabricSpec.from_dict(data.get("fabric")),
             duration=float(data.get("duration", 0.02)),
             run_slack=float(data.get("run_slack", 10.0)),
             seed=int(data.get("seed", 0)),
@@ -215,6 +314,25 @@ class ScenarioSpec:
                 for k, v in data.get("alpha_overrides", {}).items()
             },
         )
+
+    def resolved_topology_params(self) -> Dict[str, object]:
+        """Topology builder params with the fabric section merged in.
+
+        The single authority for the merge (the runner and the ``validate``
+        CLI both use it): declaring a fabric dimension in *both* places is
+        rejected, so a document cannot silently shadow its fabric section.
+        """
+        params = dict(self.topology.params)
+        if self.fabric.is_default():
+            return params
+        fabric_kwargs = self.fabric.topology_kwargs()
+        overlap = sorted(set(fabric_kwargs) & set(params))
+        if overlap:
+            raise ValueError(
+                "fabric section and topology params both set "
+                f"{', '.join(overlap)}; declare them once, in 'fabric'")
+        params.update(fabric_kwargs)
+        return params
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":

@@ -66,6 +66,9 @@ class Simulator:
             raise ValueError("cannot schedule an event at time NaN")
         # Inlined EventQueue.push_callback: this is the single hottest
         # scheduling call in the simulator, worth one fewer frame.
+        # NOTE: Link.transmit (repro.netsim.link) inlines this body once
+        # more (measured ~5% of its per-packet cost) -- keep the heap entry
+        # shape (time, counter, callback) in sync with it.
         queue = self._queue
         heappush(queue._heap, (time, next(queue._counter), callback))
 

@@ -244,6 +244,19 @@ class SharedMemorySwitch:
     def port_rate_bytes_per_sec(self, port_id: int) -> float:
         return self.ports[port_id].rate_bytes_per_sec
 
+    def set_port_rate(self, port_id: int, rate_bps: float) -> None:
+        """Retune one egress port's line rate (per-link rates, degradation).
+
+        The config's ``port_rate_bps`` stays the *nominal* rate (buffer and
+        memory-bandwidth sizing derive from it); this only changes the wire
+        speed packets serialize at, and notifies the buffer manager so
+        schemes caching port rates (ABM) stay consistent.
+        """
+        if not rate_bps > 0:
+            raise ValueError(f"port rate must be positive, got {rate_bps!r}")
+        self.ports[port_id].rate_bps = rate_bps
+        self.manager.on_port_rate_changed(port_id, rate_bps)
+
     def active_queue_count(self, priority: Optional[int] = None) -> int:
         """Number of non-empty queues, optionally restricted to a priority.
 

@@ -1,0 +1,38 @@
+"""Shared helpers for the topology builders' fabric-model parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+def resolve_tier_rates(
+    tier_rates: Optional[Mapping[str, object]],
+    defaults: Dict[str, float],
+    topology: str,
+) -> Dict[str, float]:
+    """Merge user per-tier link rates over the topology's defaults.
+
+    ``defaults`` names the tiers the topology has (e.g. ``{"host": r,
+    "agg": r, "core": r}`` for a fat-tree); unknown tier names and
+    non-positive rates are rejected with a precise message.
+    """
+    rates = dict(defaults)
+    for tier, rate in (tier_rates or {}).items():
+        if tier not in rates:
+            raise ValueError(
+                f"{topology}: unknown link tier {tier!r}; "
+                f"available tiers: {', '.join(sorted(rates))}")
+        rate = float(rate)
+        if not rate > 0:
+            raise ValueError(
+                f"{topology}: tier {tier!r} rate must be positive, got {rate!r}")
+        rates[tier] = rate
+    return rates
+
+
+def require_positive(topology: str, **values: float) -> None:
+    """Raise ``ValueError`` unless every named value is strictly positive."""
+    for name, value in values.items():
+        if not value > 0:
+            raise ValueError(
+                f"{topology}: {name} must be positive, got {value!r}")

@@ -7,14 +7,16 @@ burst-absorption micro-benchmarks at network level).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.core.base import BufferManager
+from repro.netsim.link import LinkSpec
 from repro.netsim.network import Network
 from repro.netsim.switch_node import SwitchNode
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, KB
 from repro.switchsim.switch import SwitchConfig
+from repro.topology._tiers import require_positive, resolve_tier_rates
 
 
 class DumbbellTopology:
@@ -23,6 +25,15 @@ class DumbbellTopology:
     Host ids: senders are ``0..num_pairs-1`` (attached to the left switch),
     receivers are ``num_pairs..2*num_pairs-1`` (attached to the right switch).
     The right-hand switch's port 0 carries the bottleneck link.
+
+    Tiers: ``host`` (host<->switch access links, default ``edge_rate_bps``)
+    and ``trunk`` (the inter-switch bottleneck, default
+    ``bottleneck_rate_bps``).  The trunk link carries its rate as identity,
+    so a ``bottleneck_rate_bps`` below the edge rate now genuinely slows the
+    inter-switch wire (historically it only renormalized FCT slowdowns).
+    ``degraded`` entries (``[a, b, factor]``, e.g. ``["left", "right",
+    0.5]``) scale a link pair's capacity; ``failures`` are rejected -- the
+    dumbbell has a single path.
     """
 
     def __init__(
@@ -31,6 +42,9 @@ class DumbbellTopology:
         manager_factory: Callable[[], BufferManager],
         edge_rate_bps: float = 10 * GBPS,
         bottleneck_rate_bps: Optional[float] = None,
+        tier_rates: Optional[Mapping[str, float]] = None,
+        failures: Optional[Sequence[Sequence[str]]] = None,
+        degraded: Optional[Sequence[Sequence[object]]] = None,
         buffer_bytes: Optional[int] = None,
         queues_per_port: int = 1,
         scheduler: str = "fifo",
@@ -41,8 +55,20 @@ class DumbbellTopology:
     ) -> None:
         if num_pairs < 1:
             raise ValueError("need at least one sender/receiver pair")
+        require_positive("dumbbell", edge_rate_bps=edge_rate_bps)
+        if failures:
+            raise ValueError(
+                "dumbbell: link failures are not supported (single-path "
+                "topology -- any failure partitions it); use 'degraded'")
         self.sim = simulator or Simulator()
         bottleneck_rate_bps = bottleneck_rate_bps or edge_rate_bps
+        require_positive("dumbbell", bottleneck_rate_bps=bottleneck_rate_bps)
+        self.tier_rates = resolve_tier_rates(
+            tier_rates,
+            {"host": edge_rate_bps, "trunk": bottleneck_rate_bps},
+            "dumbbell",
+        )
+        bottleneck_rate_bps = self.tier_rates["trunk"]
         self.link_rate_bps = edge_rate_bps
         self.bottleneck_rate_bps = bottleneck_rate_bps
         if buffer_bytes is None:
@@ -72,22 +98,31 @@ class DumbbellTopology:
                                 manager_factory())
         self.network.add_switch(self.left)
         self.network.add_switch(self.right)
-        self.network.connect_switches(self.left, 0, self.right, 0, link_delay)
+        trunk_spec = LinkSpec(rate_bps=self.tier_rates["trunk"],
+                              delay=link_delay)
+        host_spec = LinkSpec(rate_bps=self.tier_rates["host"],
+                             delay=link_delay)
+        self.network.connect_switches(self.left, 0, self.right, 0,
+                                      spec=trunk_spec)
 
         self.senders: List[int] = []
         self.receivers: List[int] = []
         for i in range(num_pairs):
             sender_id = i
             receiver_id = num_pairs + i
-            sender = self.network.add_host(sender_id, edge_rate_bps)
-            receiver = self.network.add_host(receiver_id, edge_rate_bps)
-            self.network.connect_host_to_switch(sender, self.left, i + 1, link_delay)
-            self.network.connect_host_to_switch(receiver, self.right, i + 1, link_delay)
+            sender = self.network.add_host(sender_id, self.tier_rates["host"])
+            receiver = self.network.add_host(receiver_id, self.tier_rates["host"])
+            self.network.connect_host_to_switch(sender, self.left, i + 1,
+                                                spec=host_spec)
+            self.network.connect_host_to_switch(receiver, self.right, i + 1,
+                                                spec=host_spec)
             self.senders.append(sender_id)
             self.receivers.append(receiver_id)
             # Cross-switch routes go over the trunk (port 0).
             self.left.routing.add_host_route(receiver_id, 0)
             self.right.routing.add_host_route(sender_id, 0)
+
+        self.network.apply_fabric(degraded=degraded)
 
     @property
     def hosts(self) -> List[int]:

@@ -15,15 +15,17 @@ oversubscribed fabric like most production deployments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import BufferManager
+from repro.netsim.link import LinkSpec
 from repro.netsim.network import Network
 from repro.netsim.routing import PathEnumerator, switch_salt, trace_path
 from repro.netsim.switch_node import SwitchNode
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, KB
 from repro.switchsim.switch import SwitchConfig
+from repro.topology._tiers import require_positive, resolve_tier_rates
 
 
 class FatTreeTopology:
@@ -49,7 +51,18 @@ class FatTreeTopology:
         oversubscription: edge-stage oversubscription ratio used to derive
             the default ``hosts_per_edge``; ignored when ``hosts_per_edge``
             is given explicitly.
-        link_rate_bps: rate of all links (hosts and fabric).
+        link_rate_bps: nominal rate of all links (hosts and fabric); the
+            per-tier overrides below refine it.
+        tier_rates: per-tier link-rate overrides: ``host`` (host<->edge),
+            ``agg`` (edge<->agg), ``core`` (agg<->core).  Every link carries
+            its tier's rate as its identity, egress ports serialize at it,
+            and ECMP weights members by effective capacity.
+        failures: link-failure injection: ``[a, b]`` endpoint-name pairs
+            (e.g. ``["agg0_0", "core1"]``).  Both directions fail, the
+            affected uplinks leave ECMP, and routing is pruned so no
+            candidate path crosses a failed link.
+        degraded: capacity degradations: ``[a, b, factor]`` triples with
+            ``factor`` in (0, 1]; serialization and ECMP weights scale.
         buffer_bytes_per_port: shared buffer per switch = this x port count.
         queues_per_port / scheduler / ecn_threshold_bytes: passed to the
             switch configuration.
@@ -66,6 +79,9 @@ class FatTreeTopology:
         hosts_per_edge: Optional[int] = None,
         oversubscription: float = 1.0,
         link_rate_bps: float = 10 * GBPS,
+        tier_rates: Optional[Mapping[str, float]] = None,
+        failures: Optional[Sequence[Sequence[str]]] = None,
+        degraded: Optional[Sequence[Sequence[object]]] = None,
         buffer_bytes_per_port: int = 512 * KB,
         queues_per_port: int = 1,
         scheduler: str = "fifo",
@@ -78,6 +94,9 @@ class FatTreeTopology:
             raise ValueError("fat-tree arity k must be an even number >= 2")
         if oversubscription <= 0:
             raise ValueError("oversubscription must be positive")
+        require_positive("fat_tree", link_rate_bps=link_rate_bps,
+                         buffer_bytes_per_port=buffer_bytes_per_port,
+                         base_rtt=base_rtt)
         half = k // 2
         if hosts_per_edge is None:
             hosts_per_edge = max(1, round(half * oversubscription))
@@ -88,8 +107,17 @@ class FatTreeTopology:
         self.num_pods = k
         self.hosts_per_edge = hosts_per_edge
         self.link_rate_bps = link_rate_bps
+        self.tier_rates = resolve_tier_rates(
+            tier_rates,
+            {"host": link_rate_bps, "agg": link_rate_bps,
+             "core": link_rate_bps},
+            "fat_tree",
+        )
         self.base_rtt = base_rtt
         link_delay = base_rtt / 12.0
+        host_spec = LinkSpec(rate_bps=self.tier_rates["host"], delay=link_delay)
+        agg_spec = LinkSpec(rate_bps=self.tier_rates["agg"], delay=link_delay)
+        core_spec = LinkSpec(rate_bps=self.tier_rates["core"], delay=link_delay)
 
         self.network = Network(self.sim, bottleneck_bps=link_rate_bps,
                                base_rtt=base_rtt)
@@ -141,9 +169,9 @@ class FatTreeTopology:
         for edge_idx, edge in enumerate(self.edges):
             for local in range(hosts_per_edge):
                 host_id = edge_idx * hosts_per_edge + local
-                host = self.network.add_host(host_id, link_rate_bps)
+                host = self.network.add_host(host_id, self.tier_rates["host"])
                 self.network.connect_host_to_switch(host, edge, local,
-                                                    link_delay)
+                                                    spec=host_spec)
                 self.hosts.append(host_id)
                 self.host_edge[host_id] = edge_idx
 
@@ -153,14 +181,14 @@ class FatTreeTopology:
                 for a in range(half):
                     agg = self.aggs[pod * half + a]
                     self.network.connect_switches(
-                        edge, hosts_per_edge + a, agg, e, link_delay)
+                        edge, hosts_per_edge + a, agg, e, spec=agg_spec)
                     edge.routing.add_uplink(hosts_per_edge + a)
             for a in range(half):
                 agg = self.aggs[pod * half + a]
                 for j in range(half):
                     core = self.cores[a * half + j]
                     self.network.connect_switches(
-                        agg, half + j, core, pod, link_delay)
+                        agg, half + j, core, pod, spec=core_spec)
                     agg.routing.add_uplink(half + j)
 
         # Downward routes: aggregation switches know their pod's hosts, core
@@ -180,7 +208,14 @@ class FatTreeTopology:
                 for _, host_id in pod_hosts:
                     core.routing.add_host_route(host_id, pod)
 
+        # Capacity-weighted ECMP + failure/degradation injection.  With the
+        # default symmetric fabric every weight is equal and nothing is
+        # pruned, so routing is byte-identical to the single-rate model.
+        self.network.refresh_ecmp_weights()
+        self.network.apply_fabric(failures=failures, degraded=degraded)
+
         self._path_enumerator = PathEnumerator()
+        self._enumerated_failures = len(self.network.failed_links)
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -208,9 +243,18 @@ class FatTreeTopology:
     # Path introspection (tests, diagnostics)
     # ------------------------------------------------------------------
     def paths_between(self, src: int, dst: int) -> List[Tuple[str, ...]]:
-        """All ECMP-eligible switch paths from ``src`` to ``dst``, sorted."""
+        """All ECMP-eligible switch paths from ``src`` to ``dst``, sorted.
+
+        Reflects the *current* fabric: failures injected after construction
+        (``network.fail_link``) invalidate the memoized enumerator, so
+        returned paths never cross a failed link.
+        """
         if src == dst:
             raise ValueError("src and dst must differ")
+        failed = len(self.network.failed_links)
+        if failed != self._enumerated_failures:
+            self._path_enumerator = PathEnumerator()
+            self._enumerated_failures = failed
         return self._path_enumerator.paths(self.edge_of_host(src), dst)
 
     def path_of_flow(self, src: int, dst: int, flow_id: int) -> Tuple[str, ...]:

@@ -1,0 +1,56 @@
+"""Every example spec under ``examples/`` must parse and validate.
+
+Mirrors the CI ``examples-smoke`` job (``python -m repro.scenario validate
+examples/*.json``): scenario documents load through :class:`ScenarioSpec`
+plus registry validation, campaign documents through ``SweepSpec`` expansion
+with every embedded scenario validated -- so example drift (renamed schemes,
+removed workloads, stale fabric endpoints) fails the test suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario.experiment import validate_spec_file
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SPECS = sorted(EXAMPLES_DIR.glob("*.json"))
+
+
+def test_examples_directory_has_specs():
+    assert EXAMPLE_SPECS, f"no example JSON documents under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_SPECS, ids=lambda p: p.name)
+def test_example_spec_validates(path):
+    kind = validate_spec_file(str(path))
+    assert kind.startswith(("scenario", "campaign"))
+
+
+def test_validate_cli_reports_failures(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x", "scheme": {"name": "nope"}, '
+                   '"topology": {"kind": "single_switch"}}')
+    with pytest.raises(Exception):
+        validate_spec_file(str(bad))
+
+
+def test_validate_resolves_fabric_endpoints_and_tiers(tmp_path):
+    # Fabric contents are resolved against the actual topology: a renamed
+    # switch or tier in a document fails validation, not the eventual run.
+    import json
+
+    base = {
+        "name": "stale", "scheme": {"name": "dt"},
+        "topology": {"kind": "fat_tree", "params": {"k": 4}},
+        "fabric": {"failures": [["agg0_0", "core99"]]},
+        "duration": 0.001,
+    }
+    doc = tmp_path / "stale.json"
+    doc.write_text(json.dumps(base))
+    with pytest.raises(ValueError, match="no link between"):
+        validate_spec_file(str(doc))
+    base["fabric"] = {"tier_rates": {"corr": 2e10}}
+    doc.write_text(json.dumps(base))
+    with pytest.raises(ValueError, match="unknown link tier"):
+        validate_spec_file(str(doc))

@@ -51,8 +51,8 @@ class TestCaseRegistry:
     def test_builtin_cases_cover_both_tiers(self):
         families = {case.name for case in available_cases()}
         assert families == {"incast_single_switch", "websearch_leaf_spine",
-                            "websearch_fat_tree", "dumbbell_burst",
-                            "raw_switch_stream"}
+                            "websearch_fat_tree", "websearch_fattree_degraded",
+                            "dumbbell_burst", "raw_switch_stream"}
         for tier in TIERS:
             assert {c.name for c in available_cases(tier=tier)} == families
 
