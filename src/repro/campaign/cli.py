@@ -51,7 +51,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     executor = CampaignExecutor(store=store, jobs=args.jobs)
     print(f"[campaign {spec.name}: {len(runs)} runs, jobs={args.jobs}, "
           f"store={store.root}]", flush=True)
-    outcomes = executor.run(runs, resume=args.resume, progress=print_progress)
+    progress = print_progress
+    board = None
+    if args.live:
+        from repro.telemetry.dashboard import CampaignBoard
+
+        board = CampaignBoard(runs)
+        progress = board
+    outcomes = executor.run(runs, resume=args.resume, progress=progress)
+    if board is not None:
+        board.finish()
     failed = [o for o in outcomes if not o.ok]
     cached = sum(1 for o in outcomes if o.status == "cached")
     print(f"[campaign {spec.name}: {len(outcomes) - len(failed)} ok "
@@ -137,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip runs already completed in the store")
     p_run.add_argument("--dry-run", action="store_true",
                        help="print the expanded run grid and exit")
+    p_run.add_argument("--live", action="store_true",
+                       help="render an in-place progress board (one row per "
+                            "experiment) instead of per-run progress lines")
     _store_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 

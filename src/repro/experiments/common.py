@@ -71,11 +71,18 @@ def scheme_factory(name: str, **overrides) -> Callable[[], BufferManager]:
 # ----------------------------------------------------------------------
 @dataclass
 class ExperimentResult:
-    """Rows of an experiment (one dict per measured point) plus metadata."""
+    """Rows of an experiment (one dict per measured point) plus metadata.
+
+    ``artifacts`` carries non-tabular payloads (today: the telemetry
+    section of a telemetry-enabled scenario run) through the campaign
+    ``ResultStore``; it is omitted from the serialized document when empty,
+    so pre-artifact documents are unchanged.
+    """
 
     experiment: str
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: str = ""
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         self.rows.append(dict(values))
@@ -106,11 +113,14 @@ class ExperimentResult:
         emit strings, numbers and booleans); a JSON round-trip is lossless for
         those types.
         """
-        return {
+        doc: Dict[str, object] = {
             "experiment": self.experiment,
             "notes": self.notes,
             "rows": [dict(row) for row in self.rows],
         }
+        if self.artifacts:
+            doc["artifacts"] = dict(self.artifacts)
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
@@ -128,6 +138,7 @@ class ExperimentResult:
             experiment=str(data["experiment"]),
             rows=[dict(row) for row in data.get("rows", [])],
             notes=str(data.get("notes", "")),
+            artifacts=dict(data.get("artifacts", {})),
         )
 
     @classmethod

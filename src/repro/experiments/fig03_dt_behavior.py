@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.experiments.common import ExperimentResult
-from repro.metrics.timeseries import trace_to_series
+from repro.telemetry import trace_to_series
 from repro.scenario import packet_burst_scenario, run_scenario
 from repro.sim.units import GBPS, MB
 from repro.switchsim.switch import SharedMemorySwitch

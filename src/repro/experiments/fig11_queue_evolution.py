@@ -12,28 +12,43 @@ The run reports, per (scheme, alpha): the burst's drop count, queue 2's
 maximum length, queue 1's length at the end of the burst, and the threshold at
 that time -- the quantities visible in the paper's time-series plots.  The raw
 traces are also returned for plotting.
+
+Sampling rides the telemetry subsystem (:mod:`repro.telemetry`): each run
+executes with the sampling bus enabled, the per-event queue series come from
+:mod:`repro.telemetry.series` (their home since the bus landed), and every
+:class:`EvolutionTrace` carries the bus's cadence-sampled document, which
+``main(--csv ...)`` emits through the same ``repro.telemetry.plot`` path as
+``python -m repro.telemetry plot``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from repro.experiments.common import ExperimentResult
-from repro.metrics.timeseries import QueueLengthSeries, trace_to_series
 from repro.scenario import packet_burst_scenario, run_scenario
+from repro.scenario.runner import ScenarioResult
+from repro.scenario.spec import TelemetrySpec
 from repro.sim.units import GBPS, KB, MB
-from repro.switchsim.switch import SharedMemorySwitch
+from repro.telemetry import QueueLengthSeries, trace_to_series
 
 
 @dataclass
 class EvolutionTrace:
-    """Raw traces of one run (for plotting)."""
+    """Raw traces of one run (for plotting).
+
+    ``q1``/``q2`` are the per-event queue series (full resolution, the
+    paper's plots); ``telemetry`` is the run's cadence-sampled bus document
+    (occupancy, backlogs, drop counters over time), consumable by
+    :func:`repro.telemetry.plot.write_csv`.
+    """
 
     scheme: str
     alpha: float
     q1: QueueLengthSeries
     q2: QueueLengthSeries
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
 
 def drive_burst_scenario(
@@ -46,13 +61,17 @@ def drive_burst_scenario(
     warmup: float = 300e-6,
     tail: float = 300e-6,
     chip_ports: int = 32,
-) -> SharedMemorySwitch:
+) -> ScenarioResult:
     """Run the long-lived + burst scenario for one (scheme, alpha) pair.
 
     Only two ports carry traffic, but the chip is dimensioned for
     ``chip_ports`` ports (the paper's Tofino has far more switching capacity
     than the two 10 Gbps receivers), so its memory bandwidth leaves plenty of
     redundant read bandwidth for Occamy's expulsions.
+
+    The run executes with the telemetry bus attached (read-only sampling:
+    rows and traces are byte-identical to a bus-less run), so the returned
+    result also carries cadence-sampled series under ``result.telemetry``.
     """
     if scheme not in ("occamy", "dt"):
         raise ValueError(f"figure 11 compares occamy and dt, not {scheme!r}")
@@ -74,7 +93,8 @@ def drive_burst_scenario(
         duration=total,
         name="fig11_queue_evolution",
     )
-    return run_scenario(spec).switch
+    spec.telemetry = TelemetrySpec(enabled=True)
+    return run_scenario(spec)
 
 
 def run(scale: str = "small", seed: int = 0,
@@ -89,7 +109,9 @@ def run(scale: str = "small", seed: int = 0,
     result.traces: List[EvolutionTrace] = []  # type: ignore[attr-defined]
     for scheme in ("occamy", "dt"):
         for alpha in alphas:
-            switch = drive_burst_scenario(scheme, alpha, burst_bytes=burst_bytes)
+            scenario_result = drive_burst_scenario(scheme, alpha,
+                                                   burst_bytes=burst_bytes)
+            switch = scenario_result.switch
             series = trace_to_series(switch.stats.queue_trace)
             q1 = series.get(0, QueueLengthSeries(0))
             q2 = series.get(1, QueueLengthSeries(1))
@@ -114,13 +136,34 @@ def run(scale: str = "small", seed: int = 0,
                 ),
             )
             result.traces.append(  # type: ignore[attr-defined]
-                EvolutionTrace(scheme=scheme, alpha=alpha, q1=q1, q2=q2)
+                EvolutionTrace(scheme=scheme, alpha=alpha, q1=q1, q2=q2,
+                               telemetry=scenario_result.telemetry.to_dict())
             )
     return result
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    print(run())
+def main(argv: List[str] = None) -> None:  # pragma: no cover - CLI convenience
+    import argparse
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="Figure 11 summary table; optionally emit the sampled "
+                    "queue-evolution series of each run as CSV")
+    parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
+                        help="write one telemetry CSV per (scheme, alpha) "
+                             "run into this directory")
+    args = parser.parse_args(argv)
+    result = run()
+    print(result)
+    if args.csv is not None:
+        from repro.telemetry.plot import write_csv
+
+        args.csv.mkdir(parents=True, exist_ok=True)
+        for trace in result.traces:  # type: ignore[attr-defined]
+            path = args.csv / f"fig11_{trace.scheme}_alpha{trace.alpha}.csv"
+            with open(path, "w") as stream:
+                write_csv(trace.telemetry, stream)
+            print(f"wrote {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

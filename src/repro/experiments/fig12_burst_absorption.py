@@ -24,7 +24,7 @@ def loss_rate_for(scheme: str, alpha: float, burst_bytes: int,
                   buffer_bytes: int = 2 * MB) -> float:
     """Loss rate of the bursty traffic for one configuration."""
     switch = drive_burst_scenario(scheme, alpha, burst_bytes=burst_bytes,
-                                  buffer_bytes=buffer_bytes)
+                                  buffer_bytes=buffer_bytes).switch
     q2 = switch.queue_for(1, 0)
     total = q2.enqueued_packets + q2.dropped_packets
     if total == 0:

@@ -1,59 +1,11 @@
-"""Queue-length time series extracted from switch traces (Figures 3 and 11)."""
+"""Backward-compat shim: the series types moved to :mod:`repro.telemetry`.
 
-from __future__ import annotations
+``QueueLengthSeries`` and ``trace_to_series`` now live in
+:mod:`repro.telemetry.series`, next to the sampling bus's ring buffers, so
+the figure harnesses and the telemetry subsystem share one series module.
+Import from :mod:`repro.telemetry` in new code.
+"""
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from repro.telemetry.series import QueueLengthSeries, trace_to_series
 
-from repro.switchsim.stats import QueueTraceSample
-
-
-@dataclass
-class QueueLengthSeries:
-    """A per-queue time series of (time, length, threshold) samples."""
-
-    queue_id: int
-    times: List[float] = field(default_factory=list)
-    lengths: List[int] = field(default_factory=list)
-    thresholds: List[float] = field(default_factory=list)
-
-    def append(self, time: float, length: int, threshold: float) -> None:
-        self.times.append(time)
-        self.lengths.append(length)
-        self.thresholds.append(threshold)
-
-    @property
-    def max_length(self) -> int:
-        return max(self.lengths) if self.lengths else 0
-
-    def length_at(self, time: float) -> int:
-        """Queue length at (or just before) ``time`` (step interpolation)."""
-        result = 0
-        for t, length in zip(self.times, self.lengths):
-            if t > time:
-                break
-            result = length
-        return result
-
-    def sample_every(self, interval: float) -> List[Tuple[float, int]]:
-        """Down-sample the series onto a regular grid for compact reporting."""
-        if interval <= 0:
-            raise ValueError("interval must be positive")
-        if not self.times:
-            return []
-        points = []
-        t = self.times[0]
-        end = self.times[-1]
-        while t <= end:
-            points.append((t, self.length_at(t)))
-            t += interval
-        return points
-
-
-def trace_to_series(trace: Iterable[QueueTraceSample]) -> Dict[int, QueueLengthSeries]:
-    """Group a flat switch trace into per-queue series."""
-    series: Dict[int, QueueLengthSeries] = {}
-    for sample in trace:
-        per_queue = series.setdefault(sample.queue_id, QueueLengthSeries(sample.queue_id))
-        per_queue.append(sample.time, sample.length_bytes, sample.threshold_bytes)
-    return series
+__all__ = ["QueueLengthSeries", "trace_to_series"]

@@ -4,7 +4,7 @@ A :class:`PerfCase` names a representative scenario at a given tier
 (``small`` runs in well under a second and feeds the CI tripwire; ``medium``
 runs for a few seconds and is the scale optimization work is judged at) and
 builds a fresh :class:`~repro.scenario.spec.ScenarioSpec` for every
-measurement.  The six built-in families cover every hot path of the
+measurement.  The built-in families cover every hot path of the
 simulation core:
 
 * ``incast_single_switch`` -- the DPDK-testbed shape: DCTCP incast queries +
@@ -12,6 +12,8 @@ simulation core:
   scheduling, transport, host NICs);
 * ``websearch_leaf_spine`` -- the ns-3 fabric shape: multi-switch forwarding
   with ECMP routing across the spines;
+* ``websearch_leaf_spine_telemetry`` -- the same fabric with the sampling
+  bus at default cadence (pins the telemetry overhead);
 * ``websearch_fat_tree`` -- the multi-stage fabric shape: a k=4 fat-tree
   with two ECMP stages and 4-5 switch hops per inter-pod flow;
 * ``websearch_fattree_degraded`` -- the asymmetric-fabric shape: the same
@@ -43,6 +45,7 @@ from repro.scenario.spec import (
     FabricSpec,
     ScenarioSpec,
     SchemeSpec,
+    TelemetrySpec,
     TopologySpec,
     TransportSpec,
     WorkloadSpec,
@@ -143,6 +146,16 @@ def _websearch_leaf_spine(tier: str) -> ScenarioSpec:
     )
 
 
+def _websearch_leaf_spine_telemetry(tier: str) -> ScenarioSpec:
+    # The leaf-spine case with the telemetry bus sampling at the default
+    # cadence: its wall time against `websearch_leaf_spine` is the sampling
+    # overhead (CI pins it at <= 5% via `python -m repro.perf overhead`).
+    spec = _websearch_leaf_spine(tier)
+    spec.name = f"perf_websearch_leaf_spine_telemetry_{tier}"
+    spec.telemetry = TelemetrySpec(enabled=True)
+    return spec
+
+
 def _websearch_fat_tree(tier: str) -> ScenarioSpec:
     # The multi-stage fabric shape: paced incast + websearch background on a
     # k=4 fat-tree (20 switches, 4-5 switch hops per inter-pod flow).  The
@@ -240,6 +253,10 @@ _BUILDERS = {
     "websearch_leaf_spine": (
         _websearch_leaf_spine,
         "leaf-spine fabric with ECMP, incast + websearch (fig17 shape)",
+    ),
+    "websearch_leaf_spine_telemetry": (
+        _websearch_leaf_spine_telemetry,
+        "the leaf-spine case with the telemetry bus at default cadence",
     ),
     "websearch_fat_tree": (
         _websearch_fat_tree,

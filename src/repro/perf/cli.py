@@ -6,6 +6,7 @@ Usage::
     python -m repro.perf run [--scale small|medium|all] [--cases a,b]
                              [--warmup N] [--reps N] [--output PATH]
     python -m repro.perf compare baseline.json head.json [--fail-above PCT]
+    python -m repro.perf overhead BASE_CASE VARIANT_CASE [--fail-above PCT]
     python -m repro.perf profile CASE_ID [--top N] [--sort KEY]
 
 ``run`` writes a schema-versioned snapshot (default ``BENCH_perf.json``,
@@ -26,6 +27,7 @@ from repro.perf.compare import compare_snapshots, evaluate_gate
 from repro.perf.harness import (
     default_snapshot_path,
     load_snapshot,
+    measure_overhead,
     run_cases,
     save_snapshot,
 )
@@ -81,6 +83,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return evaluate_gate(report, args.fail_above)
 
 
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    base = get_case(args.base)
+    variant = get_case(args.variant)
+    measurement = measure_overhead(base, variant, warmup=args.warmup,
+                                   repetitions=args.reps)
+    print(f"[{measurement.base_id}: {measurement.base_wall_s:.4f}s  vs  "
+          f"{measurement.variant_id}: {measurement.variant_wall_s:.4f}s]")
+    print(f"overhead: {measurement.overhead_pct:+.2f}%")
+    if args.fail_above is not None and measurement.overhead_pct > args.fail_above:
+        print(f"FAIL: overhead {measurement.overhead_pct:+.2f}% exceeds "
+              f"the {args.fail_above:.2f}% gate")
+        return 1
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     case = get_case(args.case)
     print(f"== {case.case_id} ({case.description}) ==")
@@ -115,6 +132,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="fail if any case's wall time regressed by more "
                             "than this percentage")
 
+    ovh_p = sub.add_parser(
+        "overhead",
+        help="interleaved A/B wall-time comparison of two cases (the "
+             "telemetry <=5%% gate; robust to between-session noise)")
+    ovh_p.add_argument("base", help="base case id (family/tier)")
+    ovh_p.add_argument("variant", help="variant case id (family/tier)")
+    ovh_p.add_argument("--warmup", type=int, default=1,
+                       help="unrecorded warmup pairs (default: 1)")
+    ovh_p.add_argument("--reps", type=int, default=7,
+                       help="recorded base/variant pairs (default: 7)")
+    ovh_p.add_argument("--fail-above", type=float, default=None,
+                       help="fail if the variant's wall-time overhead "
+                            "exceeds this percentage")
+
     prof_p = sub.add_parser("profile", help="cProfile one case")
     prof_p.add_argument("case", help="case id (family/tier), e.g. "
                                      "incast_single_switch/small")
@@ -125,7 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
-                "compare": _cmd_compare, "profile": _cmd_profile}
+                "compare": _cmd_compare, "overhead": _cmd_overhead,
+                "profile": _cmd_profile}
     return handlers[args.command](args)
 
 

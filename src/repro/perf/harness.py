@@ -17,6 +17,7 @@ never a workload change.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import resource
@@ -117,6 +118,101 @@ def measure_case(case: PerfCase, warmup: int = 1,
         packets=packets,
         repetitions=times,
         peak_rss_kb=peak_rss_kb(),
+    )
+
+
+@dataclass
+class OverheadMeasurement:
+    """An interleaved A/B comparison of two cases (same-session, same-process).
+
+    Container timing noise between sessions easily exceeds 10%, and even
+    within one process the clock frequency drifts several percent over tens
+    of seconds -- too much for a small overhead bound (telemetry's 5% gate)
+    to be judged from independent min-over-reps estimates.  The drift is
+    *slow*, though, so a base run and a variant run executed back-to-back
+    see the same machine state: each repetition is such a pair, and the
+    estimator is the **median of per-pair wall-time ratios**, immune to any
+    single pair catching an interference spike.
+    """
+
+    base_id: str
+    variant_id: str
+    base_wall_s: float
+    variant_wall_s: float
+    base_repetitions: List[float] = field(default_factory=list)
+    variant_repetitions: List[float] = field(default_factory=list)
+
+    @property
+    def pair_ratios(self) -> List[float]:
+        """Per-pair variant/base wall-time ratios (rep *i* of each side)."""
+        return [v / b for b, v in
+                zip(self.base_repetitions, self.variant_repetitions) if b > 0]
+
+    @property
+    def overhead_pct(self) -> float:
+        """Variant cost relative to base: median pair ratio, in percent.
+
+        Falls back to the min-over-reps ratio when no pairs were recorded
+        (e.g. a measurement reconstructed from a partial snapshot).
+        """
+        ratios = sorted(self.pair_ratios)
+        if not ratios:
+            if self.base_wall_s <= 0:
+                return 0.0
+            return (self.variant_wall_s / self.base_wall_s - 1.0) * 100.0
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            median = ratios[mid]
+        else:
+            median = (ratios[mid - 1] + ratios[mid]) / 2.0
+        return (median - 1.0) * 100.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "base": self.base_id,
+            "variant": self.variant_id,
+            "base_wall_s": round(self.base_wall_s, 6),
+            "variant_wall_s": round(self.variant_wall_s, 6),
+            "overhead_pct": round(self.overhead_pct, 2),
+            "base_repetitions_s": [round(r, 6) for r in self.base_repetitions],
+            "variant_repetitions_s": [round(r, 6)
+                                      for r in self.variant_repetitions],
+        }
+
+
+def measure_overhead(base: PerfCase, variant: PerfCase, warmup: int = 1,
+                     repetitions: int = 7) -> OverheadMeasurement:
+    """Measure ``variant``'s wall-time overhead over ``base``, interleaved.
+
+    Each repetition runs one base + one variant execution back-to-back,
+    alternating which goes first so slow drift (CPU frequency, co-tenant
+    load) cannot systematically favor one side, with a garbage collection
+    before each timed run so collector pauses land between measurements.
+    The overhead estimate is the median of per-pair ratios (see
+    :class:`OverheadMeasurement`); the recorded wall times stay min-over-reps
+    for display.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    for _ in range(warmup):
+        _execute_once(base)
+        _execute_once(variant)
+    base_times: List[float] = []
+    variant_times: List[float] = []
+    for rep in range(repetitions):
+        pair = ((base, base_times), (variant, variant_times))
+        if rep % 2:
+            pair = (pair[1], pair[0])
+        for case, times in pair:
+            gc.collect()
+            times.append(_execute_once(case)[0])
+    return OverheadMeasurement(
+        base_id=base.case_id,
+        variant_id=variant.case_id,
+        base_wall_s=min(base_times),
+        variant_wall_s=min(variant_times),
+        base_repetitions=base_times,
+        variant_repetitions=variant_times,
     )
 
 

@@ -48,8 +48,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_file(args.spec)
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
+    dashboard = None
+    if args.live:
+        from repro.telemetry.dashboard import LiveDashboard
+
+        # --live implies telemetry: force-enable the bus (keeping any
+        # cadence the document configured) so there is something to render.
+        if not spec.telemetry.enabled:
+            spec = replace(spec,
+                           telemetry=replace(spec.telemetry, enabled=True))
+        dashboard = LiveDashboard(spec.label())
     reset_workload_ids()
-    result = run_scenario(spec)
+    result = run_scenario(spec, on_sample=dashboard)
+    if dashboard is not None and result.telemetry is not None:
+        dashboard.finish(result.telemetry)
     experiment_result = result.to_experiment_result()
     if args.json:
         print(json.dumps(experiment_result.to_dict(), indent=2, sort_keys=True))
@@ -164,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the document's seed")
     p_run.add_argument("--json", action="store_true",
                        help="print the result as JSON instead of a table")
+    p_run.add_argument("--live", action="store_true",
+                       help="render a live telemetry dashboard while the "
+                            "scenario runs (force-enables the sampling bus)")
     p_run.set_defaults(func=_cmd_run)
 
     p_reg = sub.add_parser("registries",

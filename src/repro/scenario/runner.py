@@ -21,7 +21,7 @@ be reproducible in isolation (the campaign executor and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.registry import available_schemes, make_buffer_manager
 from repro.metrics.flows import FlowStats
@@ -44,6 +44,9 @@ from repro.sim.rng import SeededRNG
 from repro.switchsim.packet import Packet
 from repro.workloads.spec import FlowSpec
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bus uses spec)
+    from repro.telemetry.bus import TelemetryBus
+
 
 @dataclass
 class ScenarioResult:
@@ -56,12 +59,20 @@ class ScenarioResult:
         flow_stats: per-flow / per-query statistics; ``None`` for
             packet-level scenarios (they have no transport flows).
         level: ``network`` or ``switch``.
+        events_executed: simulation events executed by the run (sampler
+            ticks excluded, so the count matches a telemetry-off run).
+        final_time: the simulation clock when the run ended.
+        telemetry: the sampling bus of a telemetry-enabled run (``None``
+            otherwise); its document lands under ``to_dict()["telemetry"]``.
     """
 
     spec: ScenarioSpec
     topology: object
     flow_stats: Optional[FlowStats] = None
     level: str = "network"
+    events_executed: int = 0
+    final_time: float = 0.0
+    telemetry: Optional["TelemetryBus"] = None
 
     # -- uniform switch access -----------------------------------------
     def switches(self) -> List[object]:
@@ -131,7 +142,15 @@ class ScenarioResult:
             "level": self.level,
             "summary": self.summary_row(),
             "switches": [s.stats.summary() for s in self.switches()],
+            # Every stored run self-reports its size: the perf harness is no
+            # longer the only place events/sec can be computed from.
+            "sim": {
+                "events_executed": self.events_executed,
+                "final_time": self.final_time,
+            },
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry.to_dict()
         if self.flow_stats is not None:
             # Full per-flow identity (not just timing): the document doubles
             # as a flow trace, replayable via the ``trace_replay`` workload.
@@ -160,13 +179,18 @@ class ScenarioResult:
             notes=self.spec.label(),
         )
         result.add_row(**self.summary_row())
+        # Sampled series ride along as an artifact, so campaign ResultStore
+        # entries of telemetry-enabled runs keep their queue dynamics.
+        if self.telemetry is not None:
+            result.artifacts["telemetry"] = self.telemetry.to_dict()
         return result
 
 
 class ScenarioRunner:
     """Instantiates and executes scenarios."""
 
-    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+    def run(self, spec: ScenarioSpec,
+            on_sample: Optional[Callable] = None) -> ScenarioResult:
         self.validate(spec)
         manager_factory = lambda: make_buffer_manager(  # noqa: E731
             spec.scheme.name, **spec.scheme.kwargs)
@@ -174,6 +198,20 @@ class ScenarioRunner:
         topology = make_topology(spec.topology.kind, manager_factory,
                                  **spec.resolved_topology_params())
         self._apply_alpha_overrides(spec, topology)
+
+        # The bus attaches before any traffic is scheduled, so its tick
+        # events are read-only observers interleaved with (but never
+        # perturbing) the workload -- a telemetry-enabled run produces the
+        # same outcome document as a disabled one, plus the series.
+        bus = None
+        if spec.telemetry.enabled:
+            from repro.telemetry.bus import TelemetryBus
+
+            bus = TelemetryBus(spec.telemetry, topology.sim,
+                               horizon=spec.duration * spec.run_slack)
+            bus.attach(topology)
+            bus.on_sample = on_sample
+            bus.start()
 
         rng = SeededRNG(spec.seed)
         hosts = list(getattr(topology, "hosts", []) or [])
@@ -193,12 +231,18 @@ class ScenarioRunner:
 
         if level == LEVEL_SWITCH:
             self._run_packet_level(spec, topology, generated)
-            return ScenarioResult(spec=spec, topology=topology,
-                                  flow_stats=None, level=level)
-        self._run_network_level(spec, topology, generated)
+            flow_stats = None
+        else:
+            self._run_network_level(spec, topology, generated)
+            flow_stats = topology.network.flow_stats
+        sim = topology.sim
+        # Sampler ticks are excluded so the reported size matches a
+        # telemetry-off run of the same spec.
+        events = sim.events_executed - (bus.ticks if bus is not None else 0)
         return ScenarioResult(spec=spec, topology=topology,
-                              flow_stats=topology.network.flow_stats,
-                              level=level)
+                              flow_stats=flow_stats, level=level,
+                              events_executed=events, final_time=sim.now,
+                              telemetry=bus)
 
     # -- validation ----------------------------------------------------
     def validate(self, spec: ScenarioSpec) -> None:
@@ -221,6 +265,7 @@ class ScenarioRunner:
         if spec.run_slack <= 0:
             raise ValueError("run_slack must be positive")
         spec.fabric.validate()
+        spec.telemetry.validate()
         spec.resolved_topology_params()  # fabric/topology collision check
         # Protocol names resolve eagerly too (raises KeyError on typos).
         make_transport(spec.transport.protocol)
@@ -286,6 +331,12 @@ class ScenarioRunner:
         sim.run(until=spec.duration * spec.run_slack)
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Convenience one-shot execution of a scenario."""
-    return ScenarioRunner().run(spec)
+def run_scenario(spec: ScenarioSpec,
+                 on_sample: Optional[Callable] = None) -> ScenarioResult:
+    """Convenience one-shot execution of a scenario.
+
+    ``on_sample`` is forwarded to the telemetry bus (called after every
+    sampling tick; the live dashboard plugs in here) and ignored when the
+    spec has telemetry disabled.
+    """
+    return ScenarioRunner().run(spec, on_sample=on_sample)

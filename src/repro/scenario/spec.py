@@ -200,6 +200,77 @@ class FabricSpec:
         return spec
 
 
+#: Default ring capacity (samples kept per telemetry series).
+TELEMETRY_DEFAULT_CAPACITY = 512
+
+
+@dataclass
+class TelemetrySpec:
+    """The telemetry section of a scenario: sampling-bus configuration.
+
+    Attributes:
+        enabled: attach the sampling bus (:mod:`repro.telemetry`) to the
+            run.  Off by default, with zero hot-path cost when off -- the
+            bus is pull-based (it reads existing counters on its own
+            sim-time ticks) and never instruments the event path.
+        interval: sim-time sampling cadence in seconds.  ``None`` (the
+            default cadence) spreads the ring across the run horizon
+            (``duration * run_slack / (capacity - 1)``), so a default run
+            never wraps.  An explicit interval that produces more ticks
+            than ``capacity`` keeps the *newest* samples (ring wraparound).
+        capacity: fixed ring-buffer capacity of every series.
+        per_port: record per-port backlog series on every switch (the
+            bulk of a fabric document); aggregate and per-switch series
+            are always recorded.
+
+    The default (disabled) section is *omitted* from
+    :meth:`ScenarioSpec.to_dict`, the same backward-compat trick as
+    :class:`FabricSpec`: pre-telemetry documents, config hashes and
+    campaign caches are unchanged.
+    """
+
+    enabled: bool = False
+    interval: Optional[float] = None
+    capacity: int = TELEMETRY_DEFAULT_CAPACITY
+    per_port: bool = True
+
+    def is_default(self) -> bool:
+        return (not self.enabled and self.interval is None
+                and self.capacity == TELEMETRY_DEFAULT_CAPACITY
+                and self.per_port)
+
+    def validate(self) -> None:
+        if self.interval is not None and not float(self.interval) > 0:
+            raise ValueError(
+                f"telemetry.interval must be positive, got {self.interval!r}")
+        if int(self.capacity) < 2:
+            raise ValueError(
+                f"telemetry.capacity must be >= 2, got {self.capacity!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": bool(self.enabled),
+            "interval": (None if self.interval is None
+                         else float(self.interval)),
+            "capacity": int(self.capacity),
+            "per_port": bool(self.per_port),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, object]]) -> "TelemetrySpec":
+        if data is None:
+            return cls()
+        spec = cls(
+            enabled=bool(data.get("enabled", False)),
+            interval=(None if data.get("interval") is None
+                      else float(data["interval"])),
+            capacity=int(data.get("capacity", TELEMETRY_DEFAULT_CAPACITY)),
+            per_port=bool(data.get("per_port", True)),
+        )
+        spec.validate()
+        return spec
+
+
 @dataclass
 class TransportSpec:
     """Transport configuration: default protocol + config profile/overrides.
@@ -249,6 +320,9 @@ class ScenarioSpec:
             hashes are stable.  Campaign sweeps address it with dotted
             axes such as ``fabric.tier_rates.core`` or
             ``fabric.failures[0]``.
+        telemetry: the sampling-bus section (see :class:`TelemetrySpec`);
+            disabled by default and omitted from the canonical document
+            when default, so existing hashes are stable.
         duration: workload generation window in seconds; generators emit
             traffic within ``[0, duration)``.
         run_slack: the simulation runs until ``duration * run_slack`` so
@@ -266,6 +340,7 @@ class ScenarioSpec:
     workloads: List[WorkloadSpec] = field(default_factory=list)
     transport: TransportSpec = field(default_factory=TransportSpec)
     fabric: FabricSpec = field(default_factory=FabricSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     duration: float = 0.02
     run_slack: float = 10.0
     seed: int = 0
@@ -292,6 +367,9 @@ class ScenarioSpec:
         # valid) for every symmetric scenario.
         if not self.fabric.is_default():
             doc["fabric"] = self.fabric.to_dict()
+        # Same trick for telemetry: the disabled default adds nothing.
+        if not self.telemetry.is_default():
+            doc["telemetry"] = self.telemetry.to_dict()
         return doc
 
     @classmethod
@@ -306,6 +384,7 @@ class ScenarioSpec:
             workloads=[WorkloadSpec.from_dict(w) for w in workloads],
             transport=TransportSpec.from_dict(data.get("transport", {})),
             fabric=FabricSpec.from_dict(data.get("fabric")),
+            telemetry=TelemetrySpec.from_dict(data.get("telemetry")),
             duration=float(data.get("duration", 0.02)),
             run_slack=float(data.get("run_slack", 10.0)),
             seed=int(data.get("seed", 0)),

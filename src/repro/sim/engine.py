@@ -139,6 +139,65 @@ class Simulator:
             self.events_executed += executed
         return executed
 
+    def set_live_event_counting(self, enabled: bool = True) -> None:
+        """Keep :attr:`events_executed` current *during* :meth:`run`.
+
+        The default loop counts in a local and folds it into
+        :attr:`events_executed` once per :meth:`run` call, so mid-run reads
+        (the telemetry bus samples events/sec while the clock advances) see
+        a stale value.  Rather than tax every event with bookkeeping, this
+        swaps in a per-event-counting loop as an instance attribute -- the
+        same attach-time trick as ``Link.set_failed`` -- so the class-level
+        :meth:`run` stays branch-free when telemetry is off.
+        """
+        if enabled:
+            self.run = self._run_counting  # type: ignore[method-assign]
+        else:
+            self.__dict__.pop("run", None)
+
+    def _run_counting(self, until: Optional[float] = None,
+                      max_events: Optional[int] = None) -> int:
+        """:meth:`run` with a live :attr:`events_executed` counter.
+
+        Keep the control flow in lockstep with :meth:`run`; only the counter
+        bookkeeping differs: :attr:`events_executed` *is* the loop counter
+        (one attribute increment per event, no shadowing local), so any
+        callback -- the telemetry tick in particular -- reads a current
+        value.
+        """
+        base = self.events_executed
+        self._stopped = False
+        self._running = True
+        queue = self._queue
+        pop_entry = queue.pop_entry
+        try:
+            while True:
+                if (max_events is not None
+                        and self.events_executed - base >= max_events):
+                    break
+                if self._stopped:
+                    break
+                entry = pop_entry()
+                if entry is None:
+                    if until is not None and self.now < until:
+                        self.now = until
+                    break
+                event_time = entry[0]
+                if until is not None and event_time > until:
+                    queue.reinsert(entry)
+                    self.now = until
+                    break
+                self.now = event_time
+                obj = entry[2]
+                if obj.__class__ is Event:
+                    obj.callback()
+                else:
+                    obj()
+                self.events_executed += 1
+        finally:
+            self._running = False
+        return self.events_executed - base
+
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True

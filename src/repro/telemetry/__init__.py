@@ -1,0 +1,27 @@
+"""Streaming telemetry: sampling bus, ring-buffer series, live dashboards.
+
+Enable per scenario via the spec's ``telemetry`` section::
+
+    {"telemetry": {"enabled": true}}
+
+With telemetry off (the default) nothing here is imported by the hot path
+and no probe code runs -- see :mod:`repro.telemetry.bus` for the
+zero-cost-when-off design notes.
+"""
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.dashboard import CampaignBoard, LiveDashboard
+from repro.telemetry.series import (
+    QueueLengthSeries,
+    RingSeries,
+    trace_to_series,
+)
+
+__all__ = [
+    "CampaignBoard",
+    "LiveDashboard",
+    "QueueLengthSeries",
+    "RingSeries",
+    "TelemetryBus",
+    "trace_to_series",
+]

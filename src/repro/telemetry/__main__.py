@@ -1,0 +1,8 @@
+"""``python -m repro.telemetry`` entry point."""
+
+import sys
+
+from repro.telemetry.plot import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Queue-evolution CSV / figure emission from stored telemetry sections.
+
+``python -m repro.telemetry plot`` accepts any JSON document that carries a
+telemetry section and emits fig11-style time-series output:
+
+* a ``ScenarioResult.to_dict()`` document (``{"telemetry": {...}}``),
+* an ``ExperimentResult`` document (``{"artifacts": {"telemetry": ...}}``),
+* a campaign ``ResultStore`` entry (``{"result": {"artifacts": ...}}``),
+* or a bare telemetry section (``{"time": [...], "series": {...}}``).
+
+CSV always works; ``--figure`` additionally renders a PNG when matplotlib
+is installed (and degrades with a clear message when it is not -- the
+container image deliberately ships without it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO
+
+
+def extract_telemetry(document: Mapping) -> Dict[str, object]:
+    """Find the telemetry section in any of the stored document shapes."""
+    if "series" in document and "time" in document:
+        return dict(document)
+    if "telemetry" in document and document["telemetry"] is not None:
+        return dict(document["telemetry"])
+    artifacts = document.get("artifacts")
+    if isinstance(artifacts, Mapping) and artifacts.get("telemetry"):
+        return dict(artifacts["telemetry"])
+    result = document.get("result")
+    if isinstance(result, Mapping):
+        return extract_telemetry(result)
+    raise ValueError(
+        "no telemetry section found; expected a ScenarioResult document "
+        "(key 'telemetry'), an ExperimentResult document (key "
+        "'artifacts.telemetry'), a ResultStore entry (key 'result'), or a "
+        "bare telemetry section (keys 'time' + 'series').  Was the scenario "
+        "run with telemetry enabled (spec section 'telemetry.enabled')?")
+
+
+def select_series(telemetry: Mapping, patterns: Optional[Sequence[str]] = None
+                  ) -> List[str]:
+    """Series names matching any of the glob ``patterns`` (all when empty)."""
+    names = sorted(telemetry.get("series", {}))
+    if not patterns:
+        return names
+    selected = [name for name in names
+                if any(fnmatch(name, pattern) for pattern in patterns)]
+    if not selected:
+        raise ValueError(
+            f"no series match {list(patterns)!r}; available: "
+            + ", ".join(names))
+    return selected
+
+
+def write_csv(telemetry: Mapping, stream: TextIO,
+              patterns: Optional[Sequence[str]] = None) -> List[str]:
+    """Write ``time`` + selected series as CSV columns; returns the names."""
+    names = select_series(telemetry, patterns)
+    series = telemetry["series"]
+    writer = csv.writer(stream, lineterminator="\n")
+    writer.writerow(["time"] + names)
+    for index, t in enumerate(telemetry["time"]):
+        writer.writerow([t] + [series[name][index] for name in names])
+    return names
+
+
+def write_figure(telemetry: Mapping, path: str,
+                 patterns: Optional[Sequence[str]] = None) -> None:
+    """Render the selected series to ``path`` (requires matplotlib)."""
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError as exc:
+        raise RuntimeError(
+            "matplotlib is not installed; --figure is unavailable "
+            "(the CSV output works without it)") from exc
+    names = select_series(telemetry, patterns)
+    times = [t * 1e3 for t in telemetry["time"]]
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    for name in names:
+        ax.plot(times, telemetry["series"][name], label=name, linewidth=1.2)
+    ax.set_xlabel("time (ms)")
+    ax.set_ylabel("sampled value")
+    ax.legend(fontsize=7, ncol=2)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Telemetry post-processing (queue-evolution CSV/figures)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    plot = sub.add_parser(
+        "plot", help="emit time-series CSV (and optionally a figure) "
+                     "from a stored result document")
+    plot.add_argument("document", type=Path,
+                      help="JSON file: scenario result, experiment result, "
+                           "store entry, or bare telemetry section")
+    plot.add_argument("--out", type=Path, default=None,
+                      help="CSV output path (default: stdout)")
+    plot.add_argument("--series", nargs="*", default=None, metavar="GLOB",
+                      help="series name globs, e.g. 'switch.leaf0.*' "
+                           "(default: all series)")
+    plot.add_argument("--figure", type=Path, default=None,
+                      help="also render a PNG (requires matplotlib)")
+    args = parser.parse_args(argv)
+
+    document = json.loads(args.document.read_text())
+    try:
+        telemetry = extract_telemetry(document)
+        if args.out is None:
+            names = write_csv(telemetry, sys.stdout, args.series)
+        else:
+            with open(args.out, "w") as stream:
+                names = write_csv(telemetry, stream, args.series)
+            print(f"wrote {args.out} ({len(names)} series, "
+                  f"{len(telemetry['time'])} samples)", file=sys.stderr)
+        if args.figure is not None:
+            write_figure(telemetry, str(args.figure), args.series)
+            print(f"wrote {args.figure}", file=sys.stderr)
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited; not an error.
+        sys.stderr.close()
+        return 0
+    return 0

@@ -180,3 +180,122 @@ def test_fat_tree_two_fresh_processes_byte_identical():
     # Sanity: the document really carries multi-stage (5-hop) paths.
     paths = json.loads(first)["paths"]
     assert any(len(path) == 5 for path in paths.values())
+
+
+# ----------------------------------------------------------------------
+# Telemetry: off must be byte-identical to pre-PR, on must be deterministic
+# ----------------------------------------------------------------------
+DATA_DIR = Path(__file__).parent / "data"
+
+#: Frozen config hashes of the dumbbell determinism spec.  The telemetry-off
+#: value predates the telemetry section (the default section is omitted from
+#: the canonical document -- same trick as ``fabric``); enabling telemetry
+#: must change the hash because it changes what the run records.
+DUMBBELL_HASH_TELEMETRY_OFF = "50e3aac446ab5994"
+DUMBBELL_HASH_TELEMETRY_ON = "1aa6a01081203371"
+
+
+def _telemetry_spec() -> ScenarioSpec:
+    from repro.scenario.spec import TelemetrySpec
+
+    spec = _spec()
+    spec.telemetry = TelemetrySpec(enabled=True)
+    return spec
+
+
+def _run_telemetry_to_json() -> str:
+    reset_workload_ids()
+    return json.dumps(run_scenario(_telemetry_spec()).to_dict(), sort_keys=True)
+
+
+def test_telemetry_off_hash_is_frozen():
+    assert _spec().config_hash() == DUMBBELL_HASH_TELEMETRY_OFF
+    assert _telemetry_spec().config_hash() == DUMBBELL_HASH_TELEMETRY_ON
+
+
+def test_telemetry_off_document_matches_pre_pr_golden():
+    """The default (telemetry off) result document is byte-identical to the
+    document this spec produced before the telemetry PR, modulo the new
+    always-present ``sim`` metadata section."""
+    golden = json.loads(
+        (DATA_DIR / "dumbbell_result_pre_telemetry.json").read_text())
+    document = json.loads(_run_to_json())
+    sim = document.pop("sim")
+    assert sim["events_executed"] > 0
+    assert sim["final_time"] > 0
+    assert json.dumps(document, sort_keys=True) == json.dumps(
+        golden, sort_keys=True)
+
+
+def test_telemetry_is_zero_perturbation():
+    """Enabling the sampling bus must not change simulation outcomes: the
+    telemetry-on document minus its telemetry sections equals the
+    telemetry-off document exactly (flows, stats, sim metadata and all)."""
+    doc_off = json.loads(_run_to_json())
+    doc_on = json.loads(_run_telemetry_to_json())
+    telemetry = doc_on.pop("telemetry")
+    doc_on["spec"].pop("telemetry")
+    assert doc_on == doc_off
+    # The bus really sampled: full default ring, no overflow, and the final
+    # event-count sample agrees with the run's reported total.
+    assert telemetry["ticks"] == telemetry["capacity"]
+    assert telemetry["dropped_samples"] == 0
+    events = telemetry["series"]["sim.events_executed"]
+    assert events == sorted(events)
+    assert events[-1] == doc_off["sim"]["events_executed"]
+
+
+def test_telemetry_on_byte_identical_in_process():
+    assert _run_telemetry_to_json() == _run_telemetry_to_json()
+
+
+def test_telemetry_on_serial_vs_parallel_campaign_identical():
+    document = _telemetry_spec().to_dict()
+    specs = [
+        RunSpec(experiment="scenario", scale="-", seed=seed,
+                params={"scenario": document})
+        for seed in (0, 1)
+    ]
+    serial = CampaignExecutor(jobs=1).run(specs)
+    parallel = CampaignExecutor(jobs=2).run(specs)
+    assert all(outcome.ok for outcome in serial)
+    assert all(outcome.ok for outcome in parallel)
+    serial_docs = [json.dumps(o.result.to_dict(), sort_keys=True)
+                   for o in serial]
+    parallel_docs = [json.dumps(o.result.to_dict(), sort_keys=True)
+                     for o in parallel]
+    assert serial_docs == parallel_docs
+    # The sampled series ride through the campaign result path.
+    for doc in map(json.loads, serial_docs):
+        assert "telemetry" in doc["artifacts"]
+        assert doc["artifacts"]["telemetry"]["ticks"] > 0
+
+
+_TELEMETRY_CHILD_SCRIPT = """
+import json, sys
+from repro.scenario import ScenarioSpec, run_scenario
+from repro.scenario.spec import TelemetrySpec
+from repro.workloads import reset_workload_ids
+
+spec = ScenarioSpec.from_file(sys.argv[1])
+spec.duration = 0.002
+spec.telemetry = TelemetrySpec(enabled=True)
+reset_workload_ids()
+print(json.dumps(run_scenario(spec).to_dict(), sort_keys=True))
+"""
+
+
+def test_telemetry_on_two_fresh_processes_byte_identical():
+    def run_child() -> str:
+        proc = subprocess.run(
+            [sys.executable, "-c", _TELEMETRY_CHILD_SCRIPT,
+             str(EXAMPLES_DIR / "scenario_dumbbell_burst.json")],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(SRC_DIR), "PYTHONHASHSEED": "random"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    first = run_child()
+    assert first == run_child()
+    assert first.strip() == _run_telemetry_to_json()

@@ -51,6 +51,7 @@ class TestCaseRegistry:
     def test_builtin_cases_cover_both_tiers(self):
         families = {case.name for case in available_cases()}
         assert families == {"incast_single_switch", "websearch_leaf_spine",
+                            "websearch_leaf_spine_telemetry",
                             "websearch_fat_tree", "websearch_fattree_degraded",
                             "dumbbell_burst", "raw_switch_stream"}
         for tier in TIERS:
