@@ -20,7 +20,7 @@ declaratively after construction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.metrics.flows import FlowRecord, FlowStats
 from repro.netsim.host import Host
@@ -183,6 +183,33 @@ class Network:
                 + ", ".join(known))
         return forward, backward
 
+    def link_pair(self, a: str, b: str) -> Tuple[FabricLink, FabricLink]:
+        """Public endpoint resolution (validation tooling); raises unknowns."""
+        return self._link_pair(a, b)
+
+    def check_fabric_event(self, event: Mapping[str, object]) -> None:
+        """Statically resolve one fabric-timeline event against this network.
+
+        Catches at setup time what would otherwise fail mid-simulation:
+        unknown endpoint names, failing a host link (partition), and
+        degrading a link without a rate identity.  Event *sequencing*
+        (repair-before-fail, sorted timestamps) is already enforced by
+        :meth:`~repro.scenario.spec.FabricSpec.validate`.
+        """
+        a, b = event["link"]
+        forward, backward = self._link_pair(a, b)
+        if event["action"] == "fail":
+            if isinstance(forward.src, Host) or isinstance(backward.src, Host):
+                raise ValueError(
+                    f"fabric.events cannot fail host link {a!r}<->{b!r}: it "
+                    "would partition the host (degrade it instead)")
+        elif event["action"] == "degrade":
+            if forward.link.rate_bps is None:
+                raise ValueError(
+                    f"fabric.events cannot degrade {a!r}<->{b!r}: the link "
+                    "has no rate identity (build the topology with per-link "
+                    "rates)")
+
     def fail_link(self, a: str, b: str, prune: bool = True) -> None:
         """Fail both directions of the ``a <-> b`` link.
 
@@ -206,6 +233,37 @@ class Network:
         self.failed_links.append((a, b))
         if prune:
             self.prune_failed_routes()
+
+    def repair_link(self, a: str, b: str) -> None:
+        """Repair a previously failed ``a <-> b`` link pair (mid-run safe).
+
+        Both directions restore their healthy ``transmit`` (the
+        ``Link.set_failed(False)`` method-swap restore), the affected
+        uplinks rejoin every ECMP candidate set, and routing health is
+        recomputed from scratch: per-destination exclusions encode
+        reachability under the *old* failure set, so they are cleared on
+        every table and re-derived against the remaining failures.  Flows
+        hashed onto the restored members start carrying traffic on the next
+        packet (the ECMP memo was invalidated with the membership change).
+        """
+        for key in ((a, b), (b, a)):
+            if key in self.failed_links:
+                self.failed_links.remove(key)
+                break
+        else:
+            raise ValueError(
+                f"link {a!r}<->{b!r} is not failed (failed links: "
+                f"{self.failed_links!r}); repair only follows fail")
+        forward, backward = self._link_pair(a, b)
+        for direction in (forward, backward):
+            direction.link.set_failed(False)
+            node = direction.src
+            if isinstance(node, SwitchNode) and direction.src_port is not None:
+                if direction.src_port in node.routing.uplinks:
+                    node.routing.enable_uplink(direction.src_port)
+        for node in self.switch_nodes.values():
+            node.routing.clear_exclusions()
+        self.prune_failed_routes()
 
     def degrade_link(self, a: str, b: str, factor: float) -> None:
         """Scale both directions of the ``a <-> b`` link to ``factor`` capacity.

@@ -90,11 +90,16 @@ class EcmpRoutingTable:
         #: Memoized selection vectors: ``None`` key = the dst-independent
         #: vector, int keys = per-destination vectors for excluded dsts.
         self._selections: Dict[Optional[int], List[int]] = {}
+        #: Memoized surviving-member lists, keyed like ``_selections``.
+        #: Load balancers resolve candidates per packet, so the list must
+        #: not be rebuilt per call; callers treat it as read-only.
+        self._candidates: Dict[Optional[int], List[int]] = {}
 
     # -- mutation ------------------------------------------------------
     def _invalidate(self) -> None:
         self._ecmp_cache.clear()
         self._selections.clear()
+        self._candidates.clear()
 
     def add_host_route(self, dst_host: int, port_id: int) -> None:
         """Send traffic for ``dst_host`` out of ``port_id``."""
@@ -126,6 +131,26 @@ class EcmpRoutingTable:
             raise ValueError(f"port {port_id} is not a registered uplink")
         self._disabled.add(port_id)
         self._invalidate()
+
+    def enable_uplink(self, port_id: int) -> None:
+        """Re-admit a previously disabled uplink (its link was repaired)."""
+        if port_id not in self._uplinks:
+            raise ValueError(f"port {port_id} is not a registered uplink")
+        if port_id in self._disabled:
+            self._disabled.discard(port_id)
+            self._invalidate()
+
+    def clear_exclusions(self) -> None:
+        """Drop every per-destination exclusion (re-derived after repairs).
+
+        Exclusions encode reachability under a *specific* failure set; a
+        repair can only widen reachability, so the sound refresh is to clear
+        them all and re-run :meth:`~repro.netsim.network.Network.
+        prune_failed_routes` against the remaining failures.
+        """
+        if self._excluded:
+            self._excluded.clear()
+            self._invalidate()
 
     def exclude_uplink_for(self, port_id: int, dst_host: int) -> None:
         """Exclude ``port_id`` for traffic towards ``dst_host`` only."""
@@ -226,17 +251,28 @@ class EcmpRoutingTable:
 
         One port for an exact host route, otherwise the surviving uplinks
         (the ECMP spread minus failed/excluded members).  This is the
-        branching set path enumeration walks, so enumerated paths provably
-        avoid failed links.
+        branching set path enumeration walks (so enumerated paths provably
+        avoid failed links) and the candidate set load balancers choose
+        from per packet -- hence the member list is memoized like the
+        selection vectors; treat the returned list as read-only.
         """
         port = self._host_routes.get(dst)
         if port is not None:
-            return [port]
+            members = self._candidates.get(dst)
+            if members is None:
+                members = [port]
+                self._candidates[dst] = members
+            return members
         if not self._uplinks:
             raise LookupError(
                 f"no route for destination host {dst} and no uplinks configured"
             )
-        return self._surviving_members(dst)
+        key = dst if dst in self._excluded else None
+        members = self._candidates.get(key)
+        if members is None:
+            members = self._surviving_members(dst)
+            self._candidates[key] = members
+        return members
 
 
 def _next_node(node, port: int):

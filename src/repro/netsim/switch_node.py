@@ -26,6 +26,10 @@ class SwitchNode:
         self._links: Dict[int, Link] = {}
         #: Packets that arrived for a port with no attached link (misconfig).
         self.undeliverable = 0
+        #: The bound load-balancer policy; ``None`` for the ecmp default
+        #: (the passthrough never swaps the data path, see
+        #: :meth:`set_load_balancer`).
+        self.lb = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -47,12 +51,45 @@ class SwitchNode:
     def link_for(self, port_id: int) -> Optional[Link]:
         return self._links.get(port_id)
 
+    def set_load_balancer(self, lb) -> None:
+        """Bind an uplink-choice policy (:mod:`repro.lb`) at attach time.
+
+        A passthrough policy (the ``ecmp`` default) or ``None`` restores the
+        direct data path: no instance-level ``deliver`` override exists and
+        ``self.lb`` stays ``None``, so the per-packet cost of the default is
+        exactly the pre-LB code -- no branch, no delegate.  Any other policy
+        is bound (``lb.bind``) and the node's ``deliver`` is swapped for the
+        delegating variant, the same method-swap idiom ``Link.set_failed``
+        uses.
+        """
+        if lb is None or lb.passthrough:
+            self.lb = None
+            self.__dict__.pop("deliver", None)
+            return
+        self.lb = lb
+        lb.bind(self)
+        self.deliver = self._deliver_lb  # type: ignore[method-assign]
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
     def deliver(self, packet: Packet) -> None:
         """Handle a packet arriving on an ingress link: route and admit it."""
         out_port = self.routing.route(packet)
+        self.switch.receive(packet, out_port)
+
+    def _deliver_lb(self, packet: Packet) -> None:
+        """``deliver`` with a bound load balancer (see ``set_load_balancer``).
+
+        Host routes and single-survivor candidate sets bypass the policy
+        (there is no choice to make), so downlink hops cost one memoized
+        lookup and the policy only ever sees genuine multi-uplink decisions.
+        """
+        candidates = self.routing.candidate_ports(packet.dst)
+        if len(candidates) == 1:
+            out_port = candidates[0]
+        else:
+            out_port = self.lb.choose(packet, candidates)
         self.switch.receive(packet, out_port)
 
     def _on_transmit(self, packet: Packet, port_id: int) -> None:

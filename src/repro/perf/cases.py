@@ -19,6 +19,13 @@ simulation core:
 * ``websearch_fattree_degraded`` -- the asymmetric-fabric shape: the same
   fat-tree with a failed agg<->core link and a half-rate edge<->agg uplink
   (failure-pruned routing + capacity-weighted ECMP);
+* ``websearch_fattree_ecmp_lb`` -- the fat-tree case with an *explicit*
+  ``lb: ecmp`` section: canonically identical to ``websearch_fat_tree``,
+  kept separate so ``python -m repro.perf overhead`` can pin the
+  load-balancer attach path at zero per-packet cost;
+* ``websearch_fattree_flowlet`` -- the degraded fat-tree under flowlet
+  switching (the ``repro.lb`` delegate data path: candidate-list
+  memoization + flowlet table on every multi-uplink hop);
 * ``dumbbell_burst`` -- two switches, cross traffic plus a synchronized
   burst (Occamy's expulsion engine under pressure);
 * ``raw_switch_stream`` -- the P4-prototype shape: raw packet arrivals on a
@@ -43,6 +50,7 @@ from repro.scenario.builders import (
 from repro.scenario.scales import get_scale
 from repro.scenario.spec import (
     FabricSpec,
+    LoadBalancerSpec,
     ScenarioSpec,
     SchemeSpec,
     TelemetrySpec,
@@ -196,6 +204,29 @@ def _websearch_fattree_degraded(tier: str) -> ScenarioSpec:
     )
 
 
+def _websearch_fattree_ecmp_lb(tier: str) -> ScenarioSpec:
+    # The fat-tree case with `lb: ecmp` spelled out.  The section is the
+    # canonical default, so the built document -- and therefore the traffic
+    # -- is byte-identical to `websearch_fat_tree`; only the attach-time
+    # passthrough binding differs.  `python -m repro.perf overhead` A/Bs the
+    # two to pin that binding at zero per-packet cost (CI gates it at 2%).
+    spec = _websearch_fat_tree(tier)
+    spec.name = f"perf_websearch_fattree_ecmp_lb_{tier}"
+    spec.lb = LoadBalancerSpec("ecmp")
+    return spec
+
+
+def _websearch_fattree_flowlet(tier: str) -> ScenarioSpec:
+    # The adaptive-load-balancing shape: the degraded fat-tree under flowlet
+    # switching.  Every multi-uplink hop takes the lb delegate path --
+    # memoized candidate resolution, flowlet-table lookup, least-backlog
+    # re-pick at gap expiry -- which is the subsystem's hot loop.
+    spec = _websearch_fattree_degraded(tier)
+    spec.name = f"perf_websearch_fattree_flowlet_{tier}"
+    spec.lb = LoadBalancerSpec("flowlet")
+    return spec
+
+
 def _dumbbell_burst(tier: str) -> ScenarioSpec:
     # Occamy on a dumbbell: steady cross traffic keeps the bottleneck busy
     # while a synchronized burst exercises the expulsion engine.
@@ -265,6 +296,14 @@ _BUILDERS = {
     "websearch_fattree_degraded": (
         _websearch_fattree_degraded,
         "k=4 fat-tree with a failed core link + half-rate uplink (WCMP)",
+    ),
+    "websearch_fattree_ecmp_lb": (
+        _websearch_fattree_ecmp_lb,
+        "the fat-tree case with an explicit lb:ecmp section (overhead A/B)",
+    ),
+    "websearch_fattree_flowlet": (
+        _websearch_fattree_flowlet,
+        "the degraded fat-tree under flowlet switching (repro.lb hot path)",
     ),
     "dumbbell_burst": (
         _dumbbell_burst,

@@ -1,6 +1,6 @@
-"""Declarative scenarios: scheme x topology x workload x transport.
+"""Declarative scenarios: scheme x topology x workload x transport x lb.
 
-The scenario layer composes four registries behind one JSON-expressible
+The scenario layer composes five registries behind one JSON-expressible
 :class:`~repro.scenario.spec.ScenarioSpec`:
 
 * **schemes** -- :mod:`repro.core.registry` (promoted: default kwargs with
@@ -11,7 +11,10 @@ The scenario layer composes four registries behind one JSON-expressible
   ``websearch``, ``all_to_all``, ``all_reduce``, ``burst``, ``permutation``,
   ``hotspot``, ``trace_replay``, ``fixed``, packet-level streams/bursts);
 * **transport configs** -- :mod:`repro.scenario.transports` (named
-  TransportConfig profiles + per-workload protocol selection).
+  TransportConfig profiles + per-workload protocol selection);
+* **load balancers** -- :mod:`repro.lb` (``ecmp`` passthrough default,
+  ``flowlet``, ``drill``, ``spray``), selected by the default-omitted
+  ``lb`` spec section and bound per switch at attach time.
 
 :class:`~repro.scenario.runner.ScenarioRunner` executes a spec and returns a
 typed :class:`~repro.scenario.runner.ScenarioResult`.  The figure harnesses
@@ -31,6 +34,7 @@ from repro.scenario.runner import ScenarioResult, ScenarioRunner, run_scenario
 from repro.scenario.scales import ScenarioConfig, get_scale
 from repro.scenario.spec import (
     FabricSpec,
+    LoadBalancerSpec,
     ScenarioSpec,
     SchemeSpec,
     TopologySpec,
@@ -60,6 +64,7 @@ from repro.scenario.workloads import (
 
 __all__ = [
     "FabricSpec",
+    "LoadBalancerSpec",
     "ScenarioConfig",
     "ScenarioResult",
     "ScenarioRunner",

@@ -74,6 +74,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_registries(args: argparse.Namespace) -> int:
     del args
     from repro.core.registry import available_schemes
+    from repro.lb import available_load_balancers
     from repro.scenario.topologies import available_topologies
     from repro.scenario.transports import available_transport_profiles
     from repro.scenario.workloads import available_workloads
@@ -82,6 +83,7 @@ def _cmd_registries(args: argparse.Namespace) -> int:
     print("topologies:         " + ", ".join(available_topologies()))
     print("workloads:          " + ", ".join(available_workloads()))
     print("transport profiles: " + ", ".join(available_transport_profiles()))
+    print("load balancers:     " + ", ".join(available_load_balancers()))
     return 0
 
 
@@ -105,8 +107,16 @@ def _validate_fabric_resolves(spec: ScenarioSpec, seen: set) -> None:
     if key in seen:
         return
     seen.add(key)
-    make_topology(spec.topology.kind, lambda: make_buffer_manager("dt"),
-                  **spec.resolved_topology_params())
+    topology = make_topology(spec.topology.kind,
+                             lambda: make_buffer_manager("dt"),
+                             **spec.resolved_topology_params())
+    # Timeline endpoints resolve against the built network too, so a
+    # renamed switch in an example's fabric.events fails validation here
+    # instead of mid-simulation.
+    network = getattr(topology, "network", None)
+    if network is not None:
+        for event in spec.fabric.events:
+            network.check_fabric_event(event)
 
 
 def validate_spec_file(path: str) -> str:

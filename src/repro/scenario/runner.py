@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.registry import available_schemes, make_buffer_manager
+from repro.lb import available_load_balancers, make_load_balancer
 from repro.metrics.flows import FlowStats
 from repro.metrics.percentiles import mean, percentile
 from repro.netsim.transport.factory import make_transport
@@ -45,6 +46,7 @@ from repro.switchsim.packet import Packet
 from repro.workloads.spec import FlowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bus uses spec)
+    from repro.scenario.timeline import FabricTimeline
     from repro.telemetry.bus import TelemetryBus
 
 
@@ -60,10 +62,15 @@ class ScenarioResult:
             packet-level scenarios (they have no transport flows).
         level: ``network`` or ``switch``.
         events_executed: simulation events executed by the run (sampler
-            ticks excluded, so the count matches a telemetry-off run).
+            and recovery-probe ticks excluded, so the count matches a
+            telemetry-off run).
         final_time: the simulation clock when the run ended.
         telemetry: the sampling bus of a telemetry-enabled run (``None``
             otherwise); its document lands under ``to_dict()["telemetry"]``.
+        timeline: the executed fabric event timeline of a run with
+            ``fabric.events`` (``None`` otherwise); its document -- applied
+            events plus per-failure recovery times -- lands under
+            ``to_dict()["fabric_events"]``.
     """
 
     spec: ScenarioSpec
@@ -73,6 +80,7 @@ class ScenarioResult:
     events_executed: int = 0
     final_time: float = 0.0
     telemetry: Optional["TelemetryBus"] = None
+    timeline: Optional["FabricTimeline"] = None
 
     # -- uniform switch access -----------------------------------------
     def switches(self) -> List[object]:
@@ -105,6 +113,11 @@ class ScenarioResult:
             "topology": self.spec.topology.kind,
             "seed": self.spec.seed,
         }
+        # Only a non-default policy is identified: default (ecmp) rows keep
+        # their pre-LB shape, so stored goldens and explicit-ecmp identity
+        # stay byte-exact.
+        if not self.spec.lb.is_default():
+            row["lb"] = self.spec.lb.name
         for key, value in sorted(self.spec.scheme.kwargs.items()):
             if isinstance(value, (int, float, str, bool)):
                 row[key] = value
@@ -126,6 +139,13 @@ class ScenarioResult:
                 row["avg_qct_slowdown"] = mean(stats.qct_slowdowns())
         row["drops"] = stats_drops
         row["expelled"] = self.total_expelled()
+        if self.timeline is not None and self.timeline.recoveries:
+            times = self.timeline.recovery_times()
+            finite = [t for t in times if t is not None]
+            # The headline: the slowest recovery, or None when some failure
+            # never re-stabilized inside the horizon.
+            row["recovery_ms"] = (max(finite) * 1e3
+                                  if len(finite) == len(times) else None)
         return row
 
     def to_dict(self) -> Dict[str, object]:
@@ -151,6 +171,8 @@ class ScenarioResult:
         }
         if self.telemetry is not None:
             doc["telemetry"] = self.telemetry.to_dict()
+        if self.timeline is not None:
+            doc["fabric_events"] = self.timeline.to_dict()
         if self.flow_stats is not None:
             # Full per-flow identity (not just timing): the document doubles
             # as a flow trace, replayable via the ``trace_replay`` workload.
@@ -198,6 +220,18 @@ class ScenarioRunner:
         topology = make_topology(spec.topology.kind, manager_factory,
                                  **spec.resolved_topology_params())
         self._apply_alpha_overrides(spec, topology)
+        self._apply_load_balancer(spec, topology, level)
+
+        # The fabric event timeline is scheduled before any traffic, so an
+        # event at the same instant as a flow arrival fires first -- a
+        # fixed, documented equal-timestamp ordering.
+        timeline = None
+        if spec.fabric.events:
+            from repro.scenario.timeline import FabricTimeline
+
+            timeline = FabricTimeline(spec.fabric.events, topology.network,
+                                      horizon=spec.duration * spec.run_slack)
+            timeline.schedule()
 
         # The bus attaches before any traffic is scheduled, so its tick
         # events are read-only observers interleaved with (but never
@@ -236,13 +270,15 @@ class ScenarioRunner:
             self._run_network_level(spec, topology, generated)
             flow_stats = topology.network.flow_stats
         sim = topology.sim
-        # Sampler ticks are excluded so the reported size matches a
-        # telemetry-off run of the same spec.
+        # Sampler and recovery-probe ticks are excluded so the reported
+        # size reflects the traffic, not the observers.
         events = sim.events_executed - (bus.ticks if bus is not None else 0)
+        if timeline is not None:
+            events -= timeline.ticks
         return ScenarioResult(spec=spec, topology=topology,
                               flow_stats=flow_stats, level=level,
                               events_executed=events, final_time=sim.now,
-                              telemetry=bus)
+                              telemetry=bus, timeline=timeline)
 
     # -- validation ----------------------------------------------------
     def validate(self, spec: ScenarioSpec) -> None:
@@ -265,6 +301,22 @@ class ScenarioRunner:
         if spec.run_slack <= 0:
             raise ValueError("run_slack must be positive")
         spec.fabric.validate()
+        spec.lb.validate()
+        if spec.lb.name not in available_load_balancers():
+            raise KeyError(
+                f"unknown load balancer {spec.lb.name!r}; "
+                f"available: {', '.join(available_load_balancers())}")
+        # Policy kwargs resolve eagerly (typos raise here, not mid-run).
+        make_load_balancer(spec.lb.name, **spec.lb.kwargs)
+        if topology_level(spec.topology.kind) == LEVEL_SWITCH:
+            if not spec.lb.is_default():
+                raise ValueError(
+                    f"lb {spec.lb.name!r} needs a network-level topology; "
+                    f"{spec.topology.kind!r} has no routing stage")
+            if spec.fabric.events:
+                raise ValueError(
+                    "fabric.events needs a network-level topology; "
+                    f"{spec.topology.kind!r} has no links to fail or repair")
         spec.telemetry.validate()
         spec.resolved_topology_params()  # fabric/topology collision check
         # Protocol names resolve eagerly too (raises KeyError on typos).
@@ -274,6 +326,22 @@ class ScenarioRunner:
                 make_transport(workload.transport)
 
     # -- internals -----------------------------------------------------
+    def _apply_load_balancer(self, spec: ScenarioSpec, topology,
+                             level: str) -> None:
+        """Bind one fresh policy instance per switch (never shared state).
+
+        Runs for *every* network-level scenario, including the ecmp
+        default: binding a passthrough is a no-op on the node, so the
+        default data path is byte-identical to pre-LB behaviour while the
+        attach machinery itself stays exercised.
+        """
+        if level == LEVEL_SWITCH:
+            return  # bare switches have no routing stage (validate rejects
+            # non-default lb there)
+        for node in topology.all_switches():
+            node.set_load_balancer(
+                make_load_balancer(spec.lb.name, **spec.lb.kwargs))
+
     def _apply_alpha_overrides(self, spec: ScenarioSpec, topology) -> None:
         if not spec.alpha_overrides:
             return

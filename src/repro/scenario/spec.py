@@ -115,6 +115,69 @@ class WorkloadSpec:
         )
 
 
+#: The actions a fabric-timeline event may carry.
+FABRIC_EVENT_ACTIONS = ("fail", "repair", "degrade")
+
+
+def normalize_fabric_event(entry: object) -> Dict[str, object]:
+    """One ``fabric.events`` entry in canonical form, or a loud ValueError.
+
+    Accepts the canonical shape ``{"t": ..., "action": "fail", "link":
+    [a, b]}`` and the compact shorthand where the action name carries the
+    link (``{"t": ..., "fail": [a, b]}``).  ``factor`` is required for
+    ``degrade`` and rejected elsewhere; unknown keys are rejected so typos
+    cannot silently drop an event.
+    """
+    if not isinstance(entry, Mapping):
+        raise ValueError(
+            f"fabric.events entries must be objects, got {entry!r}")
+    data = dict(entry)
+    action = data.pop("action", None)
+    link = data.pop("link", None)
+    for name in FABRIC_EVENT_ACTIONS:
+        if name in data:
+            if action is not None:
+                raise ValueError(
+                    f"fabric.events entry declares two actions: {entry!r}")
+            action = name
+            link = data.pop(name)
+    if action not in FABRIC_EVENT_ACTIONS:
+        raise ValueError(
+            "fabric.events entries need an action of "
+            f"{'/'.join(FABRIC_EVENT_ACTIONS)}, got {entry!r}")
+    if not isinstance(link, (list, tuple)) or len(link) != 2:
+        raise ValueError(
+            f"fabric.events link must be an [a, b] endpoint pair, "
+            f"got {link!r}")
+    if "t" not in data:
+        raise ValueError(f"fabric.events entry has no timestamp 't': {entry!r}")
+    t = float(data.pop("t"))
+    if t < 0:
+        raise ValueError(
+            f"fabric.events timestamps must be non-negative, got {t!r}")
+    event: Dict[str, object] = {
+        "t": t, "action": str(action), "link": [str(link[0]), str(link[1])],
+    }
+    factor = data.pop("factor", None)
+    if action == "degrade":
+        if factor is None:
+            raise ValueError(
+                f"fabric.events degrade entries need a 'factor': {entry!r}")
+        factor = float(factor)
+        if not 0 < factor <= 1:
+            raise ValueError(
+                f"fabric.events degrade factor must be in (0, 1], "
+                f"got {factor!r}")
+        event["factor"] = factor
+    elif factor is not None:
+        raise ValueError(
+            f"'factor' only applies to degrade events, got {entry!r}")
+    if data:
+        raise ValueError(
+            f"unknown fabric.events keys {sorted(data)} in {entry!r}")
+    return event
+
+
 @dataclass
 class FabricSpec:
     """The fabric model of a scenario: per-tier rates, failures, degradation.
@@ -131,18 +194,30 @@ class FabricSpec:
         degraded: capacity degradations as ``[a, b, factor]`` triples with
             ``factor`` in (0, 1] (``[port_id, factor]`` pairs on
             ``raw_switch``); serialization and ECMP weights scale.
+        events: the *mid-run* timeline -- ``{"t": seconds, "action":
+            "fail"|"repair"|"degrade", "link": [a, b], "factor":?}`` entries
+            (shorthand: ``{"t": ..., "fail": [a, b]}``), executed by the
+            runner through ``sim.at`` -> ``Network.fail_link`` /
+            ``repair_link`` / ``degrade_link``.  Validated at build time:
+            timestamps non-negative and sorted, ``repair`` only of a link
+            that is failed at that point of the timeline (initial
+            ``failures`` count), no double ``fail``.
 
     The default (all empty) is exactly the symmetric single-rate fabric, and
     a default fabric is *omitted* from :meth:`ScenarioSpec.to_dict`, so
     pre-fabric scenario documents, config hashes and goldens are unchanged.
+    ``events`` participates in the canonical document (and hash) only when
+    non-empty, preserving every pre-timeline fabric hash too.
     """
 
     tier_rates: Dict[str, float] = field(default_factory=dict)
     failures: List[List[object]] = field(default_factory=list)
     degraded: List[List[object]] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
 
     def is_default(self) -> bool:
-        return not (self.tier_rates or self.failures or self.degraded)
+        return not (self.tier_rates or self.failures or self.degraded
+                    or self.events)
 
     def validate(self) -> None:
         """Shape-check the declarative fields with precise messages."""
@@ -165,6 +240,43 @@ class FabricSpec:
             if not 0 < factor <= 1:
                 raise ValueError(
                     f"fabric.degraded factor must be in (0, 1], got {factor!r}")
+        self._validate_events()
+
+    def _validate_events(self) -> None:
+        """Normalize the timeline and check its sequencing invariants.
+
+        Rewrites ``self.events`` into canonical form (so documents built
+        from shorthand entries serialize and hash identically to explicit
+        ones) and walks the failure state machine: the timeline must be
+        sorted, a link fails only while healthy, and a repair only follows
+        a failure (the initial ``failures`` count as failed at t=0).
+        """
+        if not self.events:
+            return
+        normalized = [normalize_fabric_event(entry) for entry in self.events]
+        failed = {frozenset((str(a), str(b))) for a, b in self.failures}
+        last_t = 0.0
+        for event in normalized:
+            if event["t"] < last_t:
+                raise ValueError(
+                    "fabric.events must be sorted by timestamp; "
+                    f"t={event['t']!r} follows t={last_t!r}")
+            last_t = event["t"]
+            key = frozenset(event["link"])
+            if event["action"] == "fail":
+                if key in failed:
+                    raise ValueError(
+                        f"fabric.events: link {event['link']} fails at "
+                        f"t={event['t']} but is already failed")
+                failed.add(key)
+            elif event["action"] == "repair":
+                if key not in failed:
+                    raise ValueError(
+                        f"fabric.events: repair of link {event['link']} at "
+                        f"t={event['t']} but it is not failed at that point "
+                        "(declare it in fabric.failures or fail it first)")
+                failed.discard(key)
+        self.events = normalized
 
     def topology_kwargs(self) -> Dict[str, object]:
         """The builder keyword arguments this fabric adds to a topology."""
@@ -179,12 +291,17 @@ class FabricSpec:
         return kwargs
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "tier_rates": {str(k): float(v)
                            for k, v in sorted(self.tier_rates.items())},
             "failures": [list(entry) for entry in self.failures],
             "degraded": [list(entry) for entry in self.degraded],
         }
+        # An empty timeline is omitted so pre-timeline fabric documents
+        # (and their config hashes) are byte-identical.
+        if self.events:
+            doc["events"] = [normalize_fabric_event(e) for e in self.events]
+        return doc
 
     @classmethod
     def from_dict(cls, data: Optional[Mapping[str, object]]) -> "FabricSpec":
@@ -195,7 +312,56 @@ class FabricSpec:
                         for k, v in dict(data.get("tier_rates", {})).items()},
             failures=[list(entry) for entry in data.get("failures", [])],
             degraded=[list(entry) for entry in data.get("degraded", [])],
+            events=[dict(entry) if isinstance(entry, Mapping) else entry
+                    for entry in data.get("events", [])],
         )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class LoadBalancerSpec:
+    """The load-balancer section: an uplink-choice policy for every switch.
+
+    Attributes:
+        name: policy registry name (see :mod:`repro.lb`): ``ecmp`` (the
+            default static flow hash), ``flowlet``, ``drill``, ``spray``,
+            or any plugin registration.
+        kwargs: policy constructor overrides (e.g. ``{"gap": 5e-05}`` for
+            flowlet, ``{"d": 3}`` for drill); registered defaults apply
+            underneath.
+
+    The default (``ecmp`` with no kwargs) is *omitted* from
+    :meth:`ScenarioSpec.to_dict` -- the same backward-compat trick as
+    :class:`FabricSpec` -- so an explicit ``"lb": {"name": "ecmp"}`` and an
+    omitted section produce byte-identical canonical documents and config
+    hashes, both equal to the pre-LB ones.
+    """
+
+    name: str = "ecmp"
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def is_default(self) -> bool:
+        return self.name == "ecmp" and not self.kwargs
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("lb.name must be non-empty")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(
+            cls,
+            data: Union[None, str, Mapping[str, object]],
+    ) -> "LoadBalancerSpec":
+        if data is None:
+            return cls()
+        if isinstance(data, str):  # shorthand: "flowlet"
+            return cls(name=data)
+        spec = cls(name=str(data.get("name", "ecmp")),
+                   kwargs=dict(data.get("kwargs", {})))
         spec.validate()
         return spec
 
@@ -320,6 +486,10 @@ class ScenarioSpec:
             hashes are stable.  Campaign sweeps address it with dotted
             axes such as ``fabric.tier_rates.core`` or
             ``fabric.failures[0]``.
+        lb: the load-balancer section (see :class:`LoadBalancerSpec`);
+            ``ecmp`` by default and omitted from the canonical document
+            when default, so existing hashes are stable.  Campaign sweeps
+            address it with ``lb.name`` / ``lb.kwargs.gap`` dotted axes.
         telemetry: the sampling-bus section (see :class:`TelemetrySpec`);
             disabled by default and omitted from the canonical document
             when default, so existing hashes are stable.
@@ -340,6 +510,7 @@ class ScenarioSpec:
     workloads: List[WorkloadSpec] = field(default_factory=list)
     transport: TransportSpec = field(default_factory=TransportSpec)
     fabric: FabricSpec = field(default_factory=FabricSpec)
+    lb: LoadBalancerSpec = field(default_factory=LoadBalancerSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     duration: float = 0.02
     run_slack: float = 10.0
@@ -367,6 +538,9 @@ class ScenarioSpec:
         # valid) for every symmetric scenario.
         if not self.fabric.is_default():
             doc["fabric"] = self.fabric.to_dict()
+        # Same trick for the load balancer: the ecmp default adds nothing.
+        if not self.lb.is_default():
+            doc["lb"] = self.lb.to_dict()
         # Same trick for telemetry: the disabled default adds nothing.
         if not self.telemetry.is_default():
             doc["telemetry"] = self.telemetry.to_dict()
@@ -384,6 +558,7 @@ class ScenarioSpec:
             workloads=[WorkloadSpec.from_dict(w) for w in workloads],
             transport=TransportSpec.from_dict(data.get("transport", {})),
             fabric=FabricSpec.from_dict(data.get("fabric")),
+            lb=LoadBalancerSpec.from_dict(data.get("lb")),
             telemetry=TelemetrySpec.from_dict(data.get("telemetry")),
             duration=float(data.get("duration", 0.02)),
             run_slack=float(data.get("run_slack", 10.0)),

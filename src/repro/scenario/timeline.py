@@ -1,0 +1,162 @@
+"""Mid-run fabric event execution and recovery-time extraction.
+
+:class:`FabricTimeline` turns a validated ``fabric.events`` list into
+scheduled simulator callbacks (``sim.at`` -> :meth:`Network.fail_link` /
+:meth:`repair_link` / :meth:`degrade_link`), so load-balancing policies and
+buffer-sharing schemes can be compared under *churn*, not just static
+degradation.  Events are scheduled before any workload is injected; at equal
+timestamps the fabric change therefore fires before traffic scheduled at the
+same instant -- a fixed, documented ordering (the same equal-timestamp
+discipline the simulator applies everywhere).
+
+Every ``fail`` event also starts a *recovery watch*: the cumulative
+goodput-rate up to the failure (delivered bytes / sim time) becomes the
+baseline, and read-only probes sample the windowed delivery rate after the
+failure until it re-stabilizes at ``RECOVERY_THRESHOLD`` of the baseline.
+The watch lands in the result document as ``fabric_events.recovery`` with a
+finite ``recovery_time`` when the fabric recovered inside the horizon.
+Probe callbacks read counters the hosts already maintain and are subtracted
+from the reported event totals -- the same zero-perturbation discipline as
+the telemetry bus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: A failure counts as recovered when the windowed delivery rate is back at
+#: this fraction of the pre-failure cumulative average.
+RECOVERY_THRESHOLD = 0.9
+
+#: Probe windows per run horizon (the recovery-time resolution).
+PROBE_SLOTS = 64
+
+
+class FabricTimeline:
+    """Executes a fabric event timeline against a live network.
+
+    Args:
+        events: normalized event dicts (``FabricSpec.validate`` output).
+        network: the :class:`~repro.netsim.network.Network` under test.
+        horizon: the run horizon in sim seconds (``duration * run_slack``).
+
+    Attributes:
+        ticks: recovery-probe callbacks executed (read-only observers;
+            the runner subtracts them from the reported event count, the
+            same bookkeeping as telemetry sampler ticks.  The fail/repair/
+            degrade applications themselves are *not* subtracted -- they
+            genuinely change the simulation).
+        applied: the events executed so far, in order, each annotated with
+            the failed pair's packet counters at fail and repair time (the
+            failure-window evidence: an untouched counter across the window
+            proves the dead link carried nothing).
+        recoveries: one watch record per fail event.
+    """
+
+    def __init__(self, events: List[Dict[str, object]], network,
+                 horizon: float) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon!r}")
+        self.events = [dict(event) for event in events]
+        self.network = network
+        self.horizon = float(horizon)
+        self.window = self.horizon / PROBE_SLOTS
+        self.ticks = 0
+        self.applied: List[Dict[str, object]] = []
+        self.recoveries: List[Dict[str, object]] = []
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self) -> None:
+        """Register every event with the simulator (call once, before traffic)."""
+        if self._scheduled:
+            raise RuntimeError("fabric timeline already scheduled")
+        self._scheduled = True
+        sim = self.network.sim
+        for event in self.events:
+            self.network.check_fabric_event(event)
+            sim.at(float(event["t"]), lambda e=event: self._apply(e))
+
+    def _pair_packets(self, a: str, b: str) -> int:
+        """Packets carried so far by both directions of the ``a <-> b`` pair."""
+        forward, backward = self.network.link_pair(a, b)
+        return forward.link.packets_carried + backward.link.packets_carried
+
+    def _apply(self, event: Dict[str, object]) -> None:
+        a, b = event["link"]
+        record = dict(event)
+        if event["action"] == "fail":
+            self.network.fail_link(a, b)
+            record["packets_carried_at_fail"] = self._pair_packets(a, b)
+            self._start_watch(event)
+        elif event["action"] == "repair":
+            self.network.repair_link(a, b)
+            record["packets_carried_at_repair"] = self._pair_packets(a, b)
+        else:
+            self.network.degrade_link(a, b, float(event["factor"]))
+        self.applied.append(record)
+
+    # ------------------------------------------------------------------
+    # Recovery measurement
+    # ------------------------------------------------------------------
+    def _delivered_bytes(self) -> int:
+        """Cumulative bytes delivered to all hosts (the goodput counter)."""
+        return sum(host.received_bytes
+                   for host in self.network.hosts.values())
+
+    def _start_watch(self, event: Dict[str, object]) -> None:
+        sim = self.network.sim
+        t_fail = sim.now
+        delivered = self._delivered_bytes()
+        baseline = delivered / t_fail if t_fail > 0 and delivered > 0 else None
+        watch: Dict[str, object] = {
+            "link": list(event["link"]),
+            "t_fail": t_fail,
+            "baseline_rate_bps": None if baseline is None else baseline * 8,
+            "recovered_at": None,
+            "recovery_time": None,
+        }
+        self.recoveries.append(watch)
+        if baseline is None:
+            # Nothing was flowing before the failure; there is no rate to
+            # re-stabilize against (recovery_time stays None).
+            return
+        self._schedule_probe(watch, baseline, delivered, 1)
+
+    def _schedule_probe(self, watch: Dict[str, object], baseline: float,
+                        prev_delivered: int, k: int) -> None:
+        t = float(watch["t_fail"]) + k * self.window
+        if t > self.horizon:
+            return
+        self.network.sim.at(
+            t, lambda: self._probe(watch, baseline, prev_delivered, k))
+
+    def _probe(self, watch: Dict[str, object], baseline: float,
+               prev_delivered: int, k: int) -> None:
+        self.ticks += 1
+        delivered = self._delivered_bytes()
+        rate = (delivered - prev_delivered) / self.window
+        if rate >= RECOVERY_THRESHOLD * baseline:
+            now = self.network.sim.now
+            watch["recovered_at"] = now
+            watch["recovery_time"] = now - float(watch["t_fail"])
+            return
+        self._schedule_probe(watch, baseline, delivered, k + 1)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def recovery_times(self) -> List[Optional[float]]:
+        """The recovery time of each fail event (``None`` = not recovered)."""
+        return [watch["recovery_time"] for watch in self.recoveries]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The deterministic ``fabric_events`` section of the result document."""
+        return {
+            "window": self.window,
+            "threshold": RECOVERY_THRESHOLD,
+            "applied": [dict(record) for record in self.applied],
+            "recovery": [dict(watch) for watch in self.recoveries],
+        }

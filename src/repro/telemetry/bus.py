@@ -104,6 +104,13 @@ class TelemetryBus:
             switch = getattr(node, "switch", node)
             self._switches.append((switch.name, switch))
             self._attach_switch(switch.name, switch)
+            # A bound load-balancer policy (repro.lb; never the ecmp
+            # passthrough -- its node.lb stays None, keeping default
+            # telemetry documents byte-identical) exposes its decision,
+            # reroute and per-uplink counters.
+            lb = getattr(node, "lb", None)
+            if lb is not None:
+                self._attach_lb(switch.name, node, lb)
         network = getattr(topology, "network", None)
         if network is not None:
             hosts = list(network.hosts.values())
@@ -141,6 +148,16 @@ class TelemetryBus:
                 port = switch.port(port_id)
                 self.add_probe(f"{prefix}.port{port_id}.backlog_bytes",
                                port.backlog_bytes)
+
+    def _attach_lb(self, name: str, node, lb) -> None:
+        prefix = f"switch.{name}.lb"
+        self.add_probe(f"{prefix}.decisions", lambda: lb.decisions)
+        self.add_probe(f"{prefix}.reroutes", lambda: lb.reroutes)
+        self.add_probe(f"{prefix}.flowlets", lambda: lb.flowlets)
+        if self.per_port:
+            for port_id in node.routing.uplinks:
+                self.add_probe(f"{prefix}.port{port_id}.packets",
+                               lambda p=port_id: lb.port_packets.get(p, 0))
 
     # ------------------------------------------------------------------
     # Sampling

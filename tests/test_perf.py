@@ -53,6 +53,8 @@ class TestCaseRegistry:
         assert families == {"incast_single_switch", "websearch_leaf_spine",
                             "websearch_leaf_spine_telemetry",
                             "websearch_fat_tree", "websearch_fattree_degraded",
+                            "websearch_fattree_ecmp_lb",
+                            "websearch_fattree_flowlet",
                             "dumbbell_burst", "raw_switch_stream"}
         for tier in TIERS:
             assert {c.name for c in available_cases(tier=tier)} == families

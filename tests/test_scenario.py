@@ -1,7 +1,8 @@
 """Tests for the declarative scenario layer.
 
-Covers the four registries (schemes, topologies, workloads, transport
-profiles), ScenarioSpec JSON round-trips and hash stability, the runner on
+Covers the five registries (schemes, topologies, workloads, transport
+profiles, load balancers), ScenarioSpec JSON round-trips and hash
+stability, the runner on
 custom scheme x topology x workload combinations, the campaign layer's
 ``"scenario"`` grid type, and -- via golden files captured from the original
 hand-wired harnesses -- row-for-row equivalence of the ported figure
@@ -129,6 +130,27 @@ class TestScenarioRegistries:
         assert "fat_tree" in available_topologies()
         for kind in ("permutation", "hotspot", "trace_replay"):
             assert kind in available_workloads()
+
+    def test_load_balancer_registry_is_fifth(self):
+        # The lb registry rides the same rails as the other four: built-in
+        # entries present, collision protection, unknown-name KeyError.
+        from repro.lb import (
+            available_load_balancers,
+            make_load_balancer,
+            register_load_balancer,
+            unregister_load_balancer,
+        )
+
+        assert available_load_balancers() == [
+            "drill", "ecmp", "flowlet", "spray"]
+        register_load_balancer("lb_probe", lambda: None)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_load_balancer("lb_probe", lambda: None)
+        finally:
+            unregister_load_balancer("lb_probe")
+        with pytest.raises(KeyError, match="bogus"):
+            make_load_balancer("bogus")
 
     def test_runner_validates_names(self):
         spec = _dumbbell_burst_spec()
