@@ -1,0 +1,30 @@
+"""Post-processing analysis over stored run documents (no re-simulation)."""
+
+from repro.analysis.compare import comparison_tables, tagged_document_rows
+from repro.analysis.fct import (
+    FLOW_METRICS,
+    fct_cdf_rows,
+    fct_summary,
+    flow_metric_values,
+)
+from repro.analysis.qlen import write_qlen_csv
+from repro.analysis.sources import (
+    FlowSet,
+    RunDocument,
+    document_from_json,
+    load_documents,
+)
+
+__all__ = [
+    "FLOW_METRICS",
+    "FlowSet",
+    "RunDocument",
+    "comparison_tables",
+    "document_from_json",
+    "fct_cdf_rows",
+    "fct_summary",
+    "flow_metric_values",
+    "load_documents",
+    "tagged_document_rows",
+    "write_qlen_csv",
+]

@@ -1,0 +1,91 @@
+"""Per-scheme / per-lb comparison tables over normalized documents.
+
+A thin adapter: :class:`RunDocument` rows are tagged with the same identity
+columns the campaign aggregation layer uses (``_experiment`` / ``_scale``
+/ ``_seed`` / ``_hash``), then :func:`repro.campaign.aggregate.scheme_summary`
+and :func:`~repro.campaign.aggregate.scheme_deltas` do the arithmetic --
+so ``python -m repro.analysis compare`` agrees with
+``python -m repro.campaign report`` wherever both apply, while also
+accepting loose result documents a store never held.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.sources import RunDocument
+from repro.campaign.aggregate import (
+    numeric_columns,
+    scheme_deltas,
+    scheme_summary,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def tagged_document_rows(documents: Sequence[RunDocument]
+                         ) -> List[Dict[str, object]]:
+    """Every row of every ok document, tagged with its run identity.
+
+    Documents whose rows lack a grouping column still contribute: the
+    ``lb`` fallback (missing column == the ecmp baseline) is applied by
+    the caller via :meth:`RunDocument.group_value` semantics at selection
+    time, not here -- the rows stay faithful to what was stored.
+    """
+    rows: List[Dict[str, object]] = []
+    for doc in documents:
+        if not doc.ok:
+            continue
+        for row in doc.rows:
+            tagged = dict(row)
+            tagged["_experiment"] = doc.experiment
+            tagged["_scale"] = doc.scale
+            tagged["_seed"] = doc.seed
+            tagged["_hash"] = doc.config_hash or doc.label
+            rows.append(tagged)
+    return rows
+
+
+def comparison_tables(
+    documents: Sequence[RunDocument],
+    metric: Optional[str] = None,
+    baseline: Optional[str] = None,
+    group_by: str = "scheme",
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Summary + delta tables of one metric, grouped by scheme or lb.
+
+    Returns ``(tables, warnings)``.  ``lb`` grouping backfills the ecmp
+    baseline into rows without an ``lb`` column (summary rows only tag
+    non-default policies).  The metric defaults to the first numeric
+    column, mirroring ``campaign report``.
+    """
+    rows = tagged_document_rows(documents)
+    if group_by == "lb":
+        for row in rows:
+            row.setdefault("lb", "ecmp")
+    grouped = [row for row in rows if group_by in row]
+    warnings: List[str] = []
+    if not grouped:
+        warnings.append(f"no rows with a {group_by!r} column; nothing to compare")
+        return [], warnings
+    metrics = numeric_columns(grouped)
+    if metric is None:
+        if not metrics:
+            warnings.append("no numeric metric columns; nothing to compare")
+            return [], warnings
+        metric = metrics[0]
+    elif metric not in metrics:
+        warnings.append(
+            f"metric {metric!r} not in columns "
+            f"({', '.join(metrics) or 'none numeric'}); nothing to compare")
+        return [], warnings
+    present = sorted({str(row.get(group_by)) for row in grouped})
+    if baseline is not None and baseline not in present:
+        warnings.append(
+            f"baseline {baseline!r} not among {group_by}s "
+            f"({', '.join(present)}); delta table skipped")
+        return [scheme_summary(grouped, metric, group_key=group_by)], warnings
+    tables = [
+        scheme_summary(grouped, metric, group_key=group_by),
+        scheme_deltas(grouped, metric, baseline=baseline, group_key=group_by),
+    ]
+    return tables, warnings

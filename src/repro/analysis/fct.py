@@ -1,0 +1,127 @@
+"""FCT and slowdown distributions from stored per-flow traces.
+
+The ConWeave-artifact shape: every stored run carries its per-flow records
+plus the ideal-FCT context (bottleneck rate, base RTT), so slowdown CDFs
+are recomputed from the store alone.  Slowdown is
+``actual_fct / ideal_fct`` with :func:`repro.metrics.flows.ideal_fct` as
+the denominator -- one base RTT plus pure serialization at the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.sources import RunDocument
+from repro.experiments.common import ExperimentResult
+from repro.metrics.flows import SMALL_FLOW_BYTES, ideal_fct, slowdown
+from repro.metrics.percentiles import cdf_points, summarize
+
+#: Per-flow metrics the fct subcommand can plot / summarize.
+FLOW_METRICS = ("slowdown", "fct_ms")
+
+
+def flow_metric_values(
+    documents: Sequence[RunDocument],
+    group_by: str = "scheme",
+    metric: str = "slowdown",
+    small_only: bool = False,
+) -> Dict[str, List[float]]:
+    """Per-group samples of one per-flow metric across all documents.
+
+    Only completed flows (a ``finish_time``) contribute.  Groups are
+    ordered by name so downstream output is byte-stable regardless of
+    store enumeration order.
+    """
+    if metric not in FLOW_METRICS:
+        raise ValueError(
+            f"unknown flow metric {metric!r}; expected one of "
+            + ", ".join(FLOW_METRICS))
+    groups: Dict[str, List[float]] = {}
+    for doc in documents:
+        if not doc.ok or doc.flows is None or not doc.flows.records:
+            continue
+        group = doc.group_value(group_by)
+        values = groups.setdefault(group, [])
+        for record in doc.flows.records:
+            finish = record.get("finish_time")
+            start = record.get("start_time")
+            size = record.get("size_bytes")
+            if finish is None or start is None or not size:
+                continue
+            if small_only and int(size) > SMALL_FLOW_BYTES:
+                continue
+            actual = float(finish) - float(start)
+            if metric == "fct_ms":
+                values.append(actual * 1e3)
+            else:
+                ideal = ideal_fct(int(size), doc.flows.bottleneck_bps,
+                                  doc.flows.base_rtt)
+                values.append(slowdown(actual, ideal))
+    return {group: groups[group] for group in sorted(groups)}
+
+
+def fct_cdf_rows(
+    documents: Sequence[RunDocument],
+    group_by: str = "scheme",
+    metric: str = "slowdown",
+    points: int = 50,
+    small_only: bool = False,
+) -> List[Dict[str, object]]:
+    """Flat CDF rows (``group, value, cdf``), one block per group.
+
+    Feed straight into CSV for fig-style slowdown-CDF plots; values come
+    from :func:`repro.metrics.percentiles.cdf_points`, so each group emits
+    at most ``points`` rows including its exact min and max.
+    """
+    rows: List[Dict[str, object]] = []
+    for group, values in flow_metric_values(
+            documents, group_by=group_by, metric=metric,
+            small_only=small_only).items():
+        for value, probability in cdf_points(values, points):
+            rows.append({"group": group, metric: round(value, 6),
+                         "cdf": round(probability, 6)})
+    return rows
+
+
+def fct_summary(
+    documents: Sequence[RunDocument],
+    group_by: str = "scheme",
+    metric: str = "slowdown",
+    small_only: bool = False,
+) -> ExperimentResult:
+    """Percentile summary of a per-flow metric, one row per group."""
+    scope = "small flows" if small_only else "all flows"
+    result = ExperimentResult(
+        f"fct[{metric}]",
+        notes=f"grouped by {group_by}; {scope}; per-flow samples")
+    for group, values in flow_metric_values(
+            documents, group_by=group_by, metric=metric,
+            small_only=small_only).items():
+        stats = summarize(values)
+        result.add_row(
+            **{group_by: group},
+            flows=stats["count"],
+            mean=round(stats["mean"], 6),
+            p50=round(stats["p50"], 6),
+            p95=round(stats["p95"], 6),
+            p99=round(stats["p99"], 6),
+            max=round(stats["max"], 6),
+        )
+    return result
+
+
+def documents_with_flows(documents: Sequence[RunDocument]
+                         ) -> List[RunDocument]:
+    return [doc for doc in documents
+            if doc.ok and doc.flows is not None and doc.flows.records]
+
+
+def require_flows(documents: Sequence[RunDocument]) -> List[RunDocument]:
+    """The flow-carrying subset, or a loud error naming what's missing."""
+    with_flows = documents_with_flows(documents)
+    if not with_flows:
+        raise ValueError(
+            "no documents carry per-flow records with ideal-FCT context; "
+            "scenario runs persist them automatically (document key 'fct' "
+            "+ 'flows', store entries under artifacts.flows)")
+    return with_flows

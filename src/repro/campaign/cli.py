@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.campaign run sweep.json --jobs 4 --store results/
     python -m repro.campaign run sweep.json --jobs 4 --store results/ --resume
+    python -m repro.campaign run sweep.json --farm subprocess:4 --store results/
+    python -m repro.campaign run sweep.json --farm ssh-hosts:hosts.json --live
     python -m repro.campaign status --store results/
     python -m repro.campaign report --store results/ --metric avg_qct_ms --baseline dt
     python -m repro.campaign report --store results/ --format csv
@@ -48,8 +50,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"[campaign {spec.name}: {len(runs)} runs]")
         return 0
     store = ResultStore(args.store)
-    executor = CampaignExecutor(store=store, jobs=args.jobs)
-    print(f"[campaign {spec.name}: {len(runs)} runs, jobs={args.jobs}, "
+    farm = None
+    if args.farm is not None:
+        from repro.farm import make_farm
+
+        try:
+            farm = make_farm(args.farm, jobs=args.jobs)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    executor = CampaignExecutor(store=store, jobs=args.jobs, farm=farm)
+    backend = farm.describe() if farm is not None else f"jobs={args.jobs}"
+    print(f"[campaign {spec.name}: {len(runs)} runs, {backend}, "
           f"store={store.root}]", flush=True)
     progress = print_progress
     board = None
@@ -58,6 +70,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         board = CampaignBoard(runs)
         progress = board
+        if farm is not None:
+            farm.on_worker = board.update_workers
     outcomes = executor.run(runs, resume=args.resume, progress=progress)
     if board is not None:
         board.finish()
@@ -65,6 +79,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     cached = sum(1 for o in outcomes if o.status == "cached")
     print(f"[campaign {spec.name}: {len(outcomes) - len(failed)} ok "
           f"({cached} cached), {len(failed)} failed]")
+    if farm is not None:
+        for row in farm.health_rows():
+            print(f"  worker {row['worker']}: ok {row['ok']} "
+                  f"failed {row['failed']} lost {row['lost']} "
+                  f"retried {row['retried']} busy {row['elapsed']}s")
     return 1 if failed else 0
 
 
@@ -149,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--live", action="store_true",
                        help="render an in-place progress board (one row per "
                             "experiment) instead of per-run progress lines")
+    p_run.add_argument("--farm", default=None, metavar="SPEC",
+                       help="execute on a run farm instead of the local "
+                            "pool: 'local', 'subprocess[:N]' or "
+                            "'ssh-hosts:HOSTS.json'")
     _store_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 

@@ -91,9 +91,8 @@ def execute_run(spec: RunSpec) -> RunOutcome:
         )
 
 
-def _execute_run_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Worker-process entry point: dict in, dict out (both picklable)."""
-    outcome = execute_run(RunSpec.from_dict(payload))
+def outcome_to_payload(outcome: RunOutcome) -> Dict[str, object]:
+    """The JSON-serializable form of an outcome (pool and farm wire format)."""
     return {
         "spec": outcome.spec.to_dict(),
         "status": outcome.status,
@@ -104,7 +103,8 @@ def _execute_run_payload(payload: Dict[str, object]) -> Dict[str, object]:
     }
 
 
-def _outcome_from_payload(data: Dict[str, object]) -> RunOutcome:
+def outcome_from_payload(data: Dict[str, object]) -> RunOutcome:
+    """Rebuild an outcome from :func:`outcome_to_payload` output."""
     return RunOutcome(
         spec=RunSpec.from_dict(data["spec"]),
         status=str(data["status"]),
@@ -115,14 +115,33 @@ def _outcome_from_payload(data: Dict[str, object]) -> RunOutcome:
     )
 
 
-class CampaignExecutor:
-    """Runs campaigns, optionally in parallel and against a result store."""
+def _execute_run_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker-process entry point: dict in, dict out (both picklable)."""
+    return outcome_to_payload(execute_run(RunSpec.from_dict(payload)))
 
-    def __init__(self, store: Optional[ResultStore] = None, jobs: int = 1):
+
+class CampaignExecutor:
+    """Runs campaigns, optionally in parallel and against a result store.
+
+    Three execution backends, picked per construction:
+
+    * ``jobs == 1`` and no farm -- inline, serial;
+    * ``jobs > 1`` -- a local :class:`~concurrent.futures.ProcessPoolExecutor`;
+    * ``farm`` -- a :class:`repro.farm.RunFarm` (inline / subprocess pool /
+      ssh hosts) with retry-on-worker-loss; ``jobs`` is ignored.
+
+    All three persist outcomes into the store *as they complete* (streaming
+    persistence), so ``python -m repro.campaign report`` and the analysis
+    CLI work against a still-running campaign.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None, jobs: int = 1,
+                 farm: Optional[object] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.store = store
         self.jobs = jobs
+        self.farm = farm
 
     def run(
         self,
@@ -154,7 +173,16 @@ class CampaignExecutor:
             else:
                 pending.append(index)
 
-        if self.jobs == 1 or len(pending) <= 1:
+        if self.farm is not None and pending:
+            # Farm dispatch yields outcomes in completion order and handles
+            # fail_fast itself (stops dispensing, drains in-flight runs).
+            for index, outcome in self.farm.dispatch(
+                [(index, specs[index]) for index in pending],
+                fail_fast=fail_fast,
+            ):
+                completed += 1
+                self._record(outcomes, index, outcome, completed, total, progress)
+        elif self.jobs == 1 or len(pending) <= 1:
             for index in pending:
                 outcome = execute_run(specs[index])
                 completed += 1
@@ -166,28 +194,57 @@ class CampaignExecutor:
                 max_workers=min(self.jobs, len(pending))
             ) as pool:
                 futures = {
-                    pool.submit(_execute_run_payload, specs[index].to_dict()): index
+                    pool.submit(_execute_run_payload, specs[index].to_dict()):
+                        (index, time.perf_counter())
                     for index in pending
                 }
                 for future in concurrent.futures.as_completed(futures):
-                    index = futures[future]
-                    try:
-                        outcome = _outcome_from_payload(future.result())
-                    except Exception as exc:  # worker died (e.g. OOM kill)
-                        outcome = RunOutcome(
-                            spec=specs[index],
-                            status=STATUS_FAILED,
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
+                    index, _ = futures[future]
+                    outcome = self._pool_outcome(future, futures, specs)
                     completed += 1
                     self._record(outcomes, index, outcome, completed, total, progress)
                     if fail_fast and not outcome.ok:
                         pool.shutdown(wait=True, cancel_futures=True)
+                        # Runs that were already in flight when the failure
+                        # surfaced have finished by now (shutdown waited).
+                        # Drain them into the store -- dropping them would
+                        # silently re-simulate finished-ok runs on --resume.
+                        for other, (other_index, _) in futures.items():
+                            if outcomes[other_index] is not None:
+                                continue
+                            if other.cancelled() or not other.done():
+                                continue
+                            drained = self._pool_outcome(other, futures, specs)
+                            completed += 1
+                            self._record(outcomes, other_index, drained,
+                                         completed, total, progress)
                         break
 
         return [outcome for outcome in outcomes if outcome is not None]
 
     # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _pool_outcome(future, futures, specs) -> RunOutcome:
+        """The outcome of one pool future, surviving worker death.
+
+        A worker that dies mid-run (OOM kill, segfault in a C extension)
+        raises from ``future.result()`` instead of returning a payload.
+        The outcome then carries the wall time since submission and the
+        pool-side exception's traceback, so ``status`` reports show when
+        and why the run was lost instead of ``elapsed=0.0`` and nothing.
+        """
+        index, submitted = futures[future]
+        try:
+            return outcome_from_payload(future.result())
+        except Exception as exc:  # worker died (e.g. OOM kill)
+            return RunOutcome(
+                spec=specs[index],
+                status=STATUS_FAILED,
+                elapsed=time.perf_counter() - submitted,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback_module.format_exc(),
+            )
+
     def _cached_outcome(self, spec: RunSpec) -> Optional[RunOutcome]:
         if self.store is None:
             return None

@@ -1,0 +1,35 @@
+"""Run farms: dispatch campaign runs across local workers and ssh hosts."""
+
+from repro.farm.farm import (
+    HostSpec,
+    LocalFarm,
+    RunFarm,
+    SshHostsFarm,
+    SubprocessFarm,
+    WorkerSlot,
+    make_farm,
+)
+from repro.farm.protocol import (
+    PROTOCOL_VERSION,
+    WorkerLossError,
+    parse_response,
+    ping_request,
+    run_request,
+    worker_main,
+)
+
+__all__ = [
+    "HostSpec",
+    "LocalFarm",
+    "PROTOCOL_VERSION",
+    "RunFarm",
+    "SshHostsFarm",
+    "SubprocessFarm",
+    "WorkerLossError",
+    "WorkerSlot",
+    "make_farm",
+    "parse_response",
+    "ping_request",
+    "run_request",
+    "worker_main",
+]

@@ -1,0 +1,119 @@
+"""The farm's JSON-over-stdio worker protocol.
+
+A farm worker is one invocation of ``python -m repro.farm worker``: it reads
+a single JSON request from stdin, executes it, prints a single JSON response
+line to stdout and exits.  Everything is plain JSON -- no pickling -- so the
+same worker runs under a local subprocess pool, through ``ssh`` on a remote
+host, or inside a container, and a worker built from a different checkout
+fails loudly on a protocol-version mismatch instead of silently
+mis-executing.
+
+Requests::
+
+    {"protocol": 1, "spec": {... RunSpec dict ...}}   execute one run
+    {"protocol": 1, "ping": true}                     health check
+
+Responses (one line on stdout)::
+
+    {"protocol": 1, "outcome": {... outcome payload ...}}
+    {"protocol": 1, "pong": true}
+
+A malformed request is a *worker-side* error: the worker writes the problem
+to stderr and exits nonzero, which the farm surfaces as a worker loss (and
+retries the run elsewhere).  A run that merely fails still exits zero -- the
+failure travels inside the outcome payload, exactly like the local pool.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Optional, TextIO
+
+#: Bump when the request/response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+class WorkerLossError(RuntimeError):
+    """A worker died or spoke garbage (as opposed to a run merely failing)."""
+
+
+def run_request(spec_payload: Dict[str, object]) -> Dict[str, object]:
+    """The request dict asking a worker to execute one run."""
+    return {"protocol": PROTOCOL_VERSION, "spec": spec_payload}
+
+
+def ping_request() -> Dict[str, object]:
+    return {"protocol": PROTOCOL_VERSION, "ping": True}
+
+
+def parse_response(stdout_text: str) -> Dict[str, object]:
+    """Extract the response payload from a worker's stdout.
+
+    Only the *last* non-empty line is parsed: library code on the worker
+    side must not print to stdout, but a stray diagnostic line from a deep
+    dependency should not kill the run.  Raises :class:`WorkerLossError`
+    when no parseable response is found or the version disagrees.
+    """
+    lines = [line for line in stdout_text.splitlines() if line.strip()]
+    if not lines:
+        raise WorkerLossError("worker produced no output")
+    try:
+        response = json.loads(lines[-1])
+    except json.JSONDecodeError as exc:
+        raise WorkerLossError(
+            f"unparseable worker response {lines[-1][:200]!r}: {exc}") from exc
+    if not isinstance(response, dict):
+        raise WorkerLossError(
+            f"worker response is not an object: {response!r}")
+    version = response.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise WorkerLossError(
+            f"worker protocol version {version!r} != {PROTOCOL_VERSION} "
+            "(mismatched checkouts between driver and host?)")
+    return response
+
+
+def worker_main(stdin: Optional[TextIO] = None,
+                stdout: Optional[TextIO] = None,
+                stderr: Optional[TextIO] = None) -> int:
+    """``python -m repro.farm worker``: one request in, one response out."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+
+    raw = stdin.read()
+    try:
+        request = json.loads(raw)
+        if not isinstance(request, dict):
+            raise ValueError(f"request must be an object, got {request!r}")
+        version = request.get("protocol")
+        if version != PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol version {version!r} != {PROTOCOL_VERSION}")
+        if not request.get("ping") and "spec" not in request:
+            raise ValueError("request carries neither 'spec' nor 'ping'")
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"repro.farm worker: malformed request: {exc}", file=stderr)
+        return 2
+
+    if request.get("ping"):
+        response: Dict[str, object] = {"protocol": PROTOCOL_VERSION,
+                                       "pong": True}
+    else:
+        # Imported lazily so a ping stays cheap on slow hosts.
+        from repro.campaign.executor import execute_run, outcome_to_payload
+        from repro.campaign.spec import RunSpec
+
+        try:
+            spec = RunSpec.from_dict(request["spec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"repro.farm worker: bad run spec: {exc}", file=stderr)
+            return 2
+        outcome = execute_run(spec)
+        response = {"protocol": PROTOCOL_VERSION,
+                    "outcome": outcome_to_payload(outcome)}
+
+    stdout.write(json.dumps(response, sort_keys=True) + "\n")
+    stdout.flush()
+    return 0

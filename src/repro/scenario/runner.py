@@ -148,6 +148,31 @@ class ScenarioResult:
                                   if len(finite) == len(times) else None)
         return row
 
+    def flow_records(self) -> List[Dict[str, object]]:
+        """Per-flow identity + timing records, sorted by flow id.
+
+        The shared flow section of :meth:`to_dict` documents and the
+        ``artifacts["flows"]`` payload campaign stores persist: full
+        identity (not just timing), so stored documents double as
+        replayable traces *and* carry everything the analysis toolkit
+        needs for FCT/slowdown CDFs.
+        """
+        if self.flow_stats is None:
+            return []
+        return [
+            {
+                "flow_id": record.flow_id,
+                "src": record.src,
+                "dst": record.dst,
+                "size_bytes": record.size_bytes,
+                "priority": record.priority,
+                "start_time": record.start_time,
+                "finish_time": record.finish_time,
+            }
+            for record in sorted(self.flow_stats.flows.values(),
+                                 key=lambda r: r.flow_id)
+        ]
+
     def to_dict(self) -> Dict[str, object]:
         """A deterministic plain-dict form of the run's observable outcome.
 
@@ -176,19 +201,14 @@ class ScenarioResult:
         if self.flow_stats is not None:
             # Full per-flow identity (not just timing): the document doubles
             # as a flow trace, replayable via the ``trace_replay`` workload.
-            doc["flows"] = [
-                {
-                    "flow_id": record.flow_id,
-                    "src": record.src,
-                    "dst": record.dst,
-                    "size_bytes": record.size_bytes,
-                    "priority": record.priority,
-                    "start_time": record.start_time,
-                    "finish_time": record.finish_time,
-                }
-                for record in sorted(self.flow_stats.flows.values(),
-                                     key=lambda r: r.flow_id)
-            ]
+            doc["flows"] = self.flow_records()
+            # The ideal-FCT context (repro.metrics.flows.ideal_fct inputs):
+            # with it, any reader of the stored document can recompute
+            # per-flow slowdowns without rebuilding the topology.
+            doc["fct"] = {
+                "bottleneck_bps": self.flow_stats.bottleneck_bps,
+                "base_rtt": self.flow_stats.base_rtt,
+            }
         return doc
 
     def to_experiment_result(self):
@@ -205,6 +225,15 @@ class ScenarioResult:
         # entries of telemetry-enabled runs keep their queue dynamics.
         if self.telemetry is not None:
             result.artifacts["telemetry"] = self.telemetry.to_dict()
+        # Per-flow records + ideal-FCT context make every stored campaign
+        # entry self-reporting: the analysis toolkit (repro.analysis) builds
+        # FCT/slowdown CDFs straight from the store, no re-simulation.
+        if self.flow_stats is not None:
+            result.artifacts["flows"] = {
+                "bottleneck_bps": self.flow_stats.bottleneck_bps,
+                "base_rtt": self.flow_stats.base_rtt,
+                "records": self.flow_records(),
+            }
         return result
 
 

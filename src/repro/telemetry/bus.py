@@ -62,6 +62,13 @@ class TelemetryBus:
         self.sim = sim
         self.horizon = horizon
         self.capacity = int(spec.capacity)
+        # Checked here, not only in TelemetrySpec.validate(): the bus is
+        # also constructed directly (library users, the --live force-enable
+        # path) with duck-typed specs whose validate() may not enforce it,
+        # and capacity 1 would divide by zero in the default cadence below.
+        if self.capacity < 2:
+            raise ValueError(
+                f"telemetry.capacity must be >= 2, got {spec.capacity!r}")
         # Default cadence: one ring slot per sample across [0, horizon],
         # so a default-configured run never wraps.
         self.interval = (float(spec.interval) if spec.interval is not None

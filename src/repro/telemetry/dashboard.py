@@ -156,6 +156,17 @@ class CampaignBoard(_Board):
         self._completed = 0
         self._overall_total = len(runs)
         self._start = time.perf_counter()
+        #: Farm worker health rows (set via :meth:`update_workers`).
+        self._workers: List[Dict[str, object]] = []
+
+    def update_workers(self, rows: Sequence[Dict[str, object]]) -> None:
+        """Record farm worker health for the next repaint.
+
+        Only stores the rows -- painting happens on the main-thread
+        progress callback, so farm dispatch threads never write to the
+        terminal concurrently.
+        """
+        self._workers = [dict(row) for row in rows]
 
     def __call__(self, completed: int, total: int, outcome) -> None:
         name = outcome.spec.experiment
@@ -194,4 +205,13 @@ class CampaignBoard(_Board):
                    f"ok {ok:<3} failed {failed:<3} cached {cached:<3} "
                    f"avg {avg:6.2f}s")
             lines.append(row)
+        if self._workers:
+            worker_width = max(len(str(row.get("worker", "")))
+                               for row in self._workers)
+            for row in self._workers:
+                lines.append(
+                    f"  [{str(row.get('worker', '')).ljust(worker_width)}] "
+                    f"ok {row.get('ok', 0):<3} failed {row.get('failed', 0):<3} "
+                    f"lost {row.get('lost', 0):<2} "
+                    f"{row.get('state', 'idle')}")
         return lines

@@ -5,8 +5,11 @@ cover the full stack; the aggregation tests use synthetic store entries.
 """
 
 import json
+import multiprocessing
+import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -28,6 +31,12 @@ from repro.campaign import (
 from repro.campaign.cli import main as campaign_main
 from repro.experiments.common import ExperimentResult
 from repro.experiments.runner import run_all, run_experiment, specs_for_all
+
+
+def _dying_worker_payload(payload):
+    """Stand-in for a worker killed mid-run (referenced by fork children)."""
+    time.sleep(0.15)
+    os._exit(1)
 
 
 class TestExperimentResultRoundTrip:
@@ -309,6 +318,50 @@ class TestExecutor:
     def test_jobs_validation(self):
         with pytest.raises(ValueError):
             CampaignExecutor(jobs=0)
+
+    def test_fail_fast_drains_completed_parallel_runs(self, tmp_path):
+        """Runs in flight when a fail_fast failure surfaces must still be
+        recorded: shutdown waits for them, and the drain loop persists
+        them -- otherwise --resume would silently re-simulate finished-ok
+        runs whose outcome was simply never consumed."""
+        store = ResultStore(tmp_path)
+        spec_doc = json.loads(
+            (Path(__file__).parent.parent / "examples" /
+             "scenario_dumbbell_burst.json").read_text())
+        spec_doc["duration"] = 0.002
+        specs = [
+            RunSpec("scenario", scale="-", seed=0,
+                    params={"scenario": spec_doc}),
+            RunSpec("fig99"),  # fails almost instantly
+        ]
+        outcomes = CampaignExecutor(store=store, jobs=2).run(
+            specs, fail_fast=True)
+        # Both runs come back and both are persisted, regardless of which
+        # completion order the pool produced.
+        assert len(outcomes) == 2
+        assert store.status_counts() == {"ok": 1, "failed": 1}
+        for outcome in outcomes:
+            assert store.load(outcome.spec.config_hash()) is not None
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="crasher patch reaches workers via fork inheritance")
+    def test_worker_death_outcome_carries_elapsed_and_traceback(
+            self, monkeypatch):
+        """A worker that dies mid-run (OOM kill, segfault) must produce a
+        failed outcome with the wall time since submission and the
+        pool-side traceback -- not elapsed=0.0 and traceback=None."""
+        from repro.campaign import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "_execute_run_payload",
+                            _dying_worker_payload)
+        outcomes = CampaignExecutor(jobs=2).run(
+            [RunSpec("table1", seed=s) for s in (0, 1)])
+        assert [o.status for o in outcomes] == ["failed", "failed"]
+        for outcome in outcomes:
+            assert "BrokenProcessPool" in outcome.error
+            assert outcome.elapsed >= 0.1
+            assert outcome.traceback is not None
 
     @pytest.mark.slow
     def test_parallel_matches_serial(self, tmp_path):

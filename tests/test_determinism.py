@@ -216,13 +216,16 @@ def test_telemetry_off_hash_is_frozen():
 def test_telemetry_off_document_matches_pre_pr_golden():
     """The default (telemetry off) result document is byte-identical to the
     document this spec produced before the telemetry PR, modulo the new
-    always-present ``sim`` metadata section."""
+    always-present ``sim`` metadata and ``fct`` context sections."""
     golden = json.loads(
         (DATA_DIR / "dumbbell_result_pre_telemetry.json").read_text())
     document = json.loads(_run_to_json())
     sim = document.pop("sim")
     assert sim["events_executed"] > 0
     assert sim["final_time"] > 0
+    fct = document.pop("fct")
+    assert fct["bottleneck_bps"] > 0
+    assert fct["base_rtt"] >= 0
     assert json.dumps(document, sort_keys=True) == json.dumps(
         golden, sort_keys=True)
 

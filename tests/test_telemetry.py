@@ -89,6 +89,24 @@ def test_bus_requires_enabled_spec():
         _bus(TelemetrySpec())
 
 
+def test_bus_rejects_capacity_below_two():
+    # The bus guards capacity itself -- not only via TelemetrySpec.validate()
+    # -- so a duck-typed spec whose validate() is lax cannot reach the
+    # divide-by-(capacity - 1) default cadence.  Same message as the spec.
+    class LaxSpec:
+        enabled = True
+        capacity = 1
+        interval = None
+        per_port = False
+
+        def validate(self):
+            pass
+
+    with pytest.raises(ValueError,
+                       match=r"telemetry\.capacity must be >= 2, got 1"):
+        TelemetryBus(LaxSpec(), Simulator(), horizon=1.0)
+
+
 def test_default_cadence_fills_the_ring_exactly_once():
     # interval = horizon / (capacity - 1): one slot per tick, no wrap.
     sim, bus = _bus(TelemetrySpec(enabled=True, capacity=8), horizon=1.0)
