@@ -150,7 +150,7 @@ class GridSpec:
                             experiment=experiment,
                             scale=scale,
                             seed=seed,
-                            params=dict(zip(param_names, combo)),
+                            params=dict(zip(param_names, combo, strict=True)),
                         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -205,7 +205,7 @@ def set_by_path(data: Dict[str, object], path: str, value: object) -> None:
     """
     segments = _parse_path(path)
     target = data
-    for here, ahead in zip(segments[:-1], segments[1:]):
+    for here, ahead in zip(segments[:-1], segments[1:], strict=True):
         if isinstance(here, int):
             if not isinstance(target, list) or here >= len(target):
                 raise ValueError(f"axis path {path!r}: index [{here}] out of range")
@@ -254,7 +254,7 @@ class ScenarioGridSpec:
         for seed in self.seeds:
             for combo in itertools.product(*value_lists):
                 document = copy.deepcopy(self.scenario)
-                for path, value in zip(axis_paths, combo):
+                for path, value in zip(axis_paths, combo, strict=True):
                     set_by_path(document, path, value)
                 yield RunSpec(
                     experiment="scenario",

@@ -185,11 +185,11 @@ class ExperimentResult:
         widths = [max(len(c), *(len(r[i]) for r in table)) if table else len(c)
                   for i, c in enumerate(cols)]
         lines = [
-            "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+            "  ".join(c.ljust(w) for c, w in zip(cols, widths, strict=True)),
             "  ".join("-" * w for w in widths),
         ]
         for row in table:
-            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

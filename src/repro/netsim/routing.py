@@ -211,7 +211,7 @@ class EcmpRoutingTable:
         weights = [self._weights.get(p, 1.0) for p in members]
         min_weight = min(weights)
         selection = []
-        for port, weight in zip(members, weights):
+        for port, weight in zip(members, weights, strict=True):
             slots = round(weight / min_weight)
             selection.extend([port] * min(MAX_WEIGHT_SLOTS, max(1, slots)))
         self._selections[key] = selection

@@ -96,6 +96,11 @@ class SwitchNode:
         link = self._links.get(port_id)
         if link is None:
             self.undeliverable += 1
+            pool = self.sim.kernel.packet_pool
+            if pool is not None:
+                # No link attached (misconfig): the drop is this packet's
+                # death site on the pooled kernel.
+                pool.release(packet)
             return
         link.transmit(packet)
 

@@ -49,6 +49,7 @@ from repro.scenario.builders import (
 )
 from repro.scenario.scales import get_scale
 from repro.scenario.spec import (
+    EngineSpec,
     FabricSpec,
     LoadBalancerSpec,
     ScenarioSpec,
@@ -117,6 +118,24 @@ def available_cases(tier: Optional[str] = None) -> List[PerfCase]:
     cases = [case for case in _CASES.values()
              if tier is None or case.tier == tier]
     return sorted(cases, key=lambda c: c.case_id)
+
+
+def case_with_kernel(case: PerfCase, kernel: str) -> PerfCase:
+    """A copy of ``case`` whose built specs run on ``kernel``.
+
+    The returned case keeps the same ``case_id`` (snapshots stay
+    comparable across kernels -- that is the point of ``--kernel`` on
+    ``perf run``); only the built spec's ``engine`` section differs.
+    """
+    base_build = case.build
+
+    def build() -> ScenarioSpec:
+        spec = base_build()
+        spec.engine = EngineSpec(kernel=kernel)
+        return spec
+
+    return PerfCase(name=case.name, tier=case.tier, build=build,
+                    description=case.description)
 
 
 # ----------------------------------------------------------------------
@@ -322,4 +341,20 @@ for _name, (_builder, _desc) in _BUILDERS.items():
             tier=_tier,
             build=(lambda b=_builder, t=_tier: b(t)),
             description=_desc,
+        ))
+
+# Pooled-kernel twins of the two ISSUE-pinned hot-path families, following
+# the `websearch_fattree_ecmp_lb` precedent: identical traffic, only the
+# engine section differs, so `python -m repro.perf overhead BASE TWIN`
+# measures the pooling speedup with the interleaved A/B methodology (CI
+# gates pooled at >= 10% faster on the medium tiers and never-slower on the
+# small tiers).
+for _name in ("incast_single_switch", "websearch_leaf_spine"):
+    for _tier in TIERS:
+        _base = _CASES[f"{_name}/{_tier}"]
+        register_case(PerfCase(
+            name=f"{_name}_pooled",
+            tier=_tier,
+            build=case_with_kernel(_base, "pooled").build,
+            description=f"the {_name} case on the pooled kernel (A/B twin)",
         ))

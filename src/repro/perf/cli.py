@@ -8,6 +8,12 @@ Usage::
     python -m repro.perf compare baseline.json head.json [--fail-above PCT]
     python -m repro.perf overhead BASE_CASE VARIANT_CASE [--fail-above PCT]
     python -m repro.perf profile CASE_ID [--top N] [--sort KEY]
+    python -m repro.perf differential [CASE_ID ...] [--kernel NAME]
+                                      [--scale small|medium|all]
+
+``differential`` runs cases under both the heap oracle and a candidate
+kernel and byte-diffs the result documents -- the correctness gate every
+alternative kernel must clear.
 
 ``run`` writes a schema-versioned snapshot (default ``BENCH_perf.json``,
 or ``BENCH_perf_<scale>.json`` when a single scale is selected); ``compare``
@@ -22,8 +28,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.perf.cases import TIERS, available_cases, get_case
+from repro.perf.cases import TIERS, available_cases, case_with_kernel, get_case
 from repro.perf.compare import compare_snapshots, evaluate_gate
+from repro.perf.differential import run_differentials
 from repro.perf.harness import (
     default_snapshot_path,
     load_snapshot,
@@ -60,6 +67,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cases = _select_cases(args.scale, args.cases)
+    if args.kernel != "heap":
+        cases = [case_with_kernel(c, args.kernel) for c in cases]
 
     def progress(measurement) -> None:
         print(f"[{measurement.case_id}: {measurement.wall_time_s:.4f}s, "
@@ -100,8 +109,42 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     case = get_case(args.case)
-    print(f"== {case.case_id} ({case.description}) ==")
+    if args.kernel != "heap":
+        case = case_with_kernel(case, args.kernel)
+    print(f"== {case.case_id} ({case.description}) "
+          f"[kernel={args.kernel}] ==")
     print(profile_case(case, top=args.top, sort=args.sort))
+    return 0
+
+
+def _cmd_differential(args: argparse.Namespace) -> int:
+    if args.cases:
+        cases = [get_case(name) for name in args.cases]
+    else:
+        tier = None if args.scale == "all" else args.scale
+        # Twin cases exist only for A/B timing; diffing them would just
+        # repeat the pooled/pooled comparison.
+        cases = [c for c in available_cases(tier=tier)
+                 if not c.name.endswith("_pooled")]
+    if not cases:
+        raise KeyError(f"no perf cases match scale={args.scale!r}")
+
+    def progress(outcome) -> None:
+        verdict = "identical" if outcome.identical else "DIVERGED"
+        detail = ""
+        if outcome.diverging_keys:
+            detail = f"  (differs in: {', '.join(outcome.diverging_keys)})"
+        print(f"[{outcome.case_id}: heap vs {outcome.kernel}: {verdict}, "
+              f"{outcome.events:,} events]{detail}", flush=True)
+
+    results = run_differentials(cases, kernel=args.kernel, progress=progress)
+    diverged = [r for r in results if not r.identical]
+    if diverged:
+        print(f"FAIL: {len(diverged)}/{len(results)} case(s) diverged "
+              f"from the heap oracle under kernel {args.kernel!r}")
+        return 1
+    print(f"OK: {len(results)} case(s) byte-identical between the heap "
+          f"oracle and kernel {args.kernel!r}")
     return 0
 
 
@@ -124,6 +167,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="recorded repetitions per case (default: 3)")
     run_p.add_argument("--output", default=None,
                        help="snapshot path (default: BENCH_perf[_scale].json)")
+    run_p.add_argument("--kernel", default="heap",
+                       help="simulation kernel to run under (default: heap)")
 
     cmp_p = sub.add_parser("compare", help="compare two snapshots")
     cmp_p.add_argument("baseline", help="baseline snapshot path")
@@ -153,11 +198,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="number of functions to print (default: 25)")
     prof_p.add_argument("--sort", default="cumulative", choices=SORT_KEYS,
                         help="pstats sort key (default: cumulative)")
+    prof_p.add_argument("--kernel", default="heap",
+                        help="simulation kernel to profile (default: heap)")
+
+    diff_p = sub.add_parser(
+        "differential",
+        help="byte-diff result documents between the heap oracle and a "
+             "candidate kernel (correctness gate for alternative kernels)")
+    diff_p.add_argument("cases", nargs="*",
+                        help="case ids (family/tier); default: every "
+                             "registered non-twin case at --scale")
+    diff_p.add_argument("--kernel", default="pooled",
+                        help="candidate kernel to diff (default: pooled)")
+    diff_p.add_argument("--scale", default="all",
+                        choices=list(TIERS) + ["all"],
+                        help="tier to cover when no cases are named "
+                             "(default: all)")
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "overhead": _cmd_overhead,
-                "profile": _cmd_profile}
+                "profile": _cmd_profile, "differential": _cmd_differential}
     return handlers[args.command](args)
 
 

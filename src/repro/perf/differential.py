@@ -1,0 +1,84 @@
+"""Differential testing of simulation kernels against the heap oracle.
+
+``python -m repro.perf differential`` runs every selected perf case once
+under the oracle (:class:`~repro.sim.kernel.HeapKernel`) and once under a
+candidate kernel and byte-diffs the canonical result documents.  A kernel
+earns trust by producing **byte-identical** results on every registered
+case -- the same row-for-row acceptance gate the ROADMAP prescribes for
+the compiled inner loop.
+
+The only tolerated difference is the spec's own ``engine`` section (which
+kernel ran is part of the spec identity, not of the simulation outcome),
+so it is stripped from both documents before comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.perf.cases import PerfCase, case_with_kernel
+from repro.scenario.runner import ScenarioRunner
+from repro.workloads import reset_workload_ids
+
+
+@dataclass
+class DifferentialResult:
+    """The outcome of one case's two-kernel comparison."""
+
+    case_id: str
+    kernel: str
+    identical: bool
+    events: int
+    #: Top-level document keys whose values differ (diagnostic aid).
+    diverging_keys: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case_id": self.case_id,
+            "kernel": self.kernel,
+            "identical": self.identical,
+            "events": self.events,
+            "diverging_keys": list(self.diverging_keys),
+        }
+
+
+def _canonical_document(case: PerfCase) -> tuple[str, int]:
+    """Run ``case`` once; returns (canonical JSON, events executed)."""
+    spec = case.build()
+    reset_workload_ids()
+    result = ScenarioRunner().run(spec)
+    document = result.to_dict()
+    # Which engine ran is spec identity, not simulation outcome.
+    document["spec"].pop("engine", None)
+    return json.dumps(document, sort_keys=True), result.events_executed
+
+
+def run_differential(case: PerfCase, kernel: str = "pooled") -> DifferentialResult:
+    """Diff one case's result documents: heap oracle vs ``kernel``."""
+    oracle_doc, events = _canonical_document(case_with_kernel(case, "heap"))
+    candidate_doc, _ = _canonical_document(case_with_kernel(case, kernel))
+    identical = oracle_doc == candidate_doc
+    diverging: List[str] = []
+    if not identical:
+        oracle = json.loads(oracle_doc)
+        candidate = json.loads(candidate_doc)
+        diverging = sorted(
+            key for key in set(oracle) | set(candidate)
+            if oracle.get(key) != candidate.get(key))
+    return DifferentialResult(case_id=case.case_id, kernel=kernel,
+                              identical=identical, events=events,
+                              diverging_keys=diverging)
+
+
+def run_differentials(cases: Sequence[PerfCase], kernel: str = "pooled",
+                      progress=None) -> List[DifferentialResult]:
+    """Diff every case; ``progress`` is called after each one."""
+    results = []
+    for case in cases:
+        outcome = run_differential(case, kernel=kernel)
+        results.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return results

@@ -146,7 +146,8 @@ class OverheadMeasurement:
     def pair_ratios(self) -> List[float]:
         """Per-pair variant/base wall-time ratios (rep *i* of each side)."""
         return [v / b for b, v in
-                zip(self.base_repetitions, self.variant_repetitions) if b > 0]
+                zip(self.base_repetitions, self.variant_repetitions,
+                    strict=False) if b > 0]
 
     @property
     def overhead_pct(self) -> float:

@@ -33,6 +33,7 @@ from repro.scenario.builders import (
 from repro.scenario.runner import ScenarioResult, ScenarioRunner, run_scenario
 from repro.scenario.scales import ScenarioConfig, get_scale
 from repro.scenario.spec import (
+    EngineSpec,
     FabricSpec,
     LoadBalancerSpec,
     ScenarioSpec,
@@ -63,6 +64,7 @@ from repro.scenario.workloads import (
 )
 
 __all__ = [
+    "EngineSpec",
     "FabricSpec",
     "LoadBalancerSpec",
     "ScenarioConfig",

@@ -48,6 +48,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_file(args.spec)
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
+    if args.kernel is not None:
+        from repro.scenario.spec import EngineSpec
+
+        spec = replace(spec, engine=EngineSpec(kernel=args.kernel))
     dashboard = None
     if args.live:
         from repro.telemetry.dashboard import LiveDashboard
@@ -184,6 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("spec", help="path to a ScenarioSpec JSON file")
     p_run.add_argument("--seed", type=int, default=None,
                        help="override the document's seed")
+    p_run.add_argument("--kernel", default=None,
+                       help="override the document's engine.kernel "
+                            "(e.g. heap, pooled)")
     p_run.add_argument("--json", action="store_true",
                        help="print the result as JSON instead of a table")
     p_run.add_argument("--live", action="store_true",

@@ -246,8 +246,18 @@ class ScenarioRunner:
         manager_factory = lambda: make_buffer_manager(  # noqa: E731
             spec.scheme.name, **spec.scheme.kwargs)
         level = topology_level(spec.topology.kind)
+        topology_params = spec.resolved_topology_params()
+        if not spec.engine.is_default():
+            # Non-default kernel: hand the topology a pre-built simulator.
+            # The default path stays untouched (builders construct their own
+            # Simulator), so heap-kernel runs are byte-identical to pre-PR.
+            from repro.sim.engine import Simulator
+            from repro.sim.kernel import make_kernel
+
+            topology_params["simulator"] = Simulator(
+                kernel=make_kernel(spec.engine.kernel))
         topology = make_topology(spec.topology.kind, manager_factory,
-                                 **spec.resolved_topology_params())
+                                 **topology_params)
         self._apply_alpha_overrides(spec, topology)
         self._apply_load_balancer(spec, topology, level)
 
@@ -347,6 +357,7 @@ class ScenarioRunner:
                     "fabric.events needs a network-level topology; "
                     f"{spec.topology.kind!r} has no links to fail or repair")
         spec.telemetry.validate()
+        spec.engine.validate()
         spec.resolved_topology_params()  # fabric/topology collision check
         # Protocol names resolve eagerly too (raises KeyError on typos).
         make_transport(spec.transport.protocol)
@@ -417,6 +428,11 @@ class ScenarioRunner:
     def _run_packet_level(self, spec, topology, generated) -> None:
         sim = topology.sim
         switch = topology.switch
+        # Packet-level arrivals die inside the switch (drop or sink
+        # transmit), so drawing them from the kernel's pool closes the
+        # recycle loop on the pooled kernel.
+        pool = sim.kernel.packet_pool
+        make_packet = Packet if pool is None else pool.acquire
         for workload, arrivals in generated:
             if any(isinstance(a, FlowSpec) for a in arrivals):
                 raise ValueError(
@@ -424,7 +440,7 @@ class ScenarioRunner:
                     "it needs a network-level topology")
             for time, size, port in arrivals:
                 sim.at(time, lambda s=size, p=port: switch.receive(
-                    Packet(size_bytes=s), p))
+                    make_packet(size_bytes=s), p))
         sim.run(until=spec.duration * spec.run_slack)
 
 

@@ -438,6 +438,57 @@ class TelemetrySpec:
 
 
 @dataclass
+class EngineSpec:
+    """The engine section of a scenario: which simulation kernel runs it.
+
+    Attributes:
+        kernel: registered kernel name (see :mod:`repro.sim.kernel`):
+            ``heap`` (the pure-Python oracle, the default) or ``pooled``
+            (free-listed events plus packet/descriptor pools).  Campaign
+            sweeps address it with an ``engine.kernel`` dotted axis.
+
+    The default (``heap``) is *omitted* from :meth:`ScenarioSpec.to_dict`
+    -- the same backward-compat trick as :class:`FabricSpec` /
+    :class:`LoadBalancerSpec` / :class:`TelemetrySpec` -- so an explicit
+    ``"engine": {"kernel": "heap"}`` and an omitted section produce
+    byte-identical canonical documents and config hashes, both equal to
+    the pre-kernel ones.  A non-default kernel *does* change the hash:
+    result documents are expected to be byte-identical across kernels
+    (that is the differential gate), but which engine produced a stored
+    artifact is part of its identity.
+    """
+
+    kernel: str = "heap"
+
+    def is_default(self) -> bool:
+        return self.kernel == "heap"
+
+    def validate(self) -> None:
+        # Imported lazily: the spec layer stays importable without pulling
+        # the whole sim stack in at module-import time.
+        from repro.sim.kernel import available_kernels
+
+        if self.kernel not in available_kernels():
+            raise ValueError(
+                f"unknown engine.kernel {self.kernel!r}; "
+                f"available: {', '.join(available_kernels())}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kernel": self.kernel}
+
+    @classmethod
+    def from_dict(
+            cls,
+            data: Union[None, str, Mapping[str, object]],
+    ) -> "EngineSpec":
+        if data is None:
+            return cls()
+        if isinstance(data, str):  # shorthand: "pooled"
+            return cls(kernel=data)
+        return cls(kernel=str(data.get("kernel", "heap")))
+
+
+@dataclass
 class TransportSpec:
     """Transport configuration: default protocol + config profile/overrides.
 
@@ -493,6 +544,10 @@ class ScenarioSpec:
         telemetry: the sampling-bus section (see :class:`TelemetrySpec`);
             disabled by default and omitted from the canonical document
             when default, so existing hashes are stable.
+        engine: the simulation-kernel section (see :class:`EngineSpec`);
+            ``heap`` by default and omitted from the canonical document
+            when default, so existing hashes are stable.  Campaign sweeps
+            address it with an ``engine.kernel`` dotted axis.
         duration: workload generation window in seconds; generators emit
             traffic within ``[0, duration)``.
         run_slack: the simulation runs until ``duration * run_slack`` so
@@ -512,6 +567,7 @@ class ScenarioSpec:
     fabric: FabricSpec = field(default_factory=FabricSpec)
     lb: LoadBalancerSpec = field(default_factory=LoadBalancerSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
     duration: float = 0.02
     run_slack: float = 10.0
     seed: int = 0
@@ -544,6 +600,9 @@ class ScenarioSpec:
         # Same trick for telemetry: the disabled default adds nothing.
         if not self.telemetry.is_default():
             doc["telemetry"] = self.telemetry.to_dict()
+        # Same trick for the engine: the heap default adds nothing.
+        if not self.engine.is_default():
+            doc["engine"] = self.engine.to_dict()
         return doc
 
     @classmethod
@@ -560,6 +619,7 @@ class ScenarioSpec:
             fabric=FabricSpec.from_dict(data.get("fabric")),
             lb=LoadBalancerSpec.from_dict(data.get("lb")),
             telemetry=TelemetrySpec.from_dict(data.get("telemetry")),
+            engine=EngineSpec.from_dict(data.get("engine")),
             duration=float(data.get("duration", 0.02)),
             run_slack=float(data.get("run_slack", 10.0)),
             seed=int(data.get("seed", 0)),

@@ -2,6 +2,14 @@
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import (
+    HeapKernel,
+    PooledKernel,
+    SimKernel,
+    available_kernels,
+    make_kernel,
+    register_kernel,
+)
 from repro.sim.rng import SeededRNG
 from repro.sim.units import (
     GBPS,
@@ -20,8 +28,14 @@ from repro.sim.units import (
 __all__ = [
     "Event",
     "EventQueue",
+    "HeapKernel",
+    "PooledKernel",
+    "SimKernel",
     "Simulator",
     "SeededRNG",
+    "available_kernels",
+    "make_kernel",
+    "register_kernel",
     "GBPS",
     "MBPS",
     "KB",

@@ -5,14 +5,16 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Any, Callable, Optional
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Event
+from repro.sim.kernel import HeapKernel, SimKernel
 
 
 class Simulator:
     """A minimal, deterministic discrete-event simulator.
 
-    The simulator owns a virtual clock (``now``, in seconds) and an event
-    queue.  Components schedule callbacks either at an absolute time
+    The simulator owns a virtual clock (``now``, in seconds) and a pluggable
+    :class:`~repro.sim.kernel.SimKernel` holding the event queue and the
+    dispatch loop.  Components schedule callbacks either at an absolute time
     (:meth:`at`) or after a delay (:meth:`schedule`), then :meth:`run` drains
     the queue until a time horizon or until no events remain.
 
@@ -25,14 +27,25 @@ class Simulator:
         [1.5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: Optional[SimKernel] = None) -> None:
         self.now: float = 0.0
-        self._queue = EventQueue()
+        #: The engine kernel: event storage + dispatch loop + pools.  The
+        #: default HeapKernel is the pre-kernel behavior exactly.
+        self._kernel = kernel if kernel is not None else HeapKernel()
+        #: Back-compat alias -- a SimKernel *is* an EventQueue, and the
+        #: inlined hot paths (schedule_fast below, Link.transmit) reach the
+        #: heap through ``sim._queue._heap`` / ``._counter``.
+        self._queue = self._kernel
         self._running = False
         self._stopped = False
         #: Cumulative count of events executed over the simulator's lifetime
         #: (across multiple :meth:`run` calls; the perf harness reads it).
         self.events_executed: int = 0
+
+    @property
+    def kernel(self) -> SimKernel:
+        """The engine kernel (components read its pools at attach time)."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -47,7 +60,10 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past: delay={delay} (now={self.now})"
             )
-        return self._queue.push(self.now + delay, callback)
+        time = self.now + delay
+        if time != time:  # NaN slips past the < 0 guard (comparisons false)
+            raise ValueError("cannot schedule an event at time NaN")
+        return self._queue.push(time, callback)
 
     def schedule_fast(self, delay: float, callback: Callable[[], Any]) -> None:
         """Schedule a *non-cancellable* callback ``delay`` seconds from now.
@@ -82,6 +98,8 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past: time={time} (now={self.now})"
             )
+        if time != time:  # NaN slips past the < guard (comparisons false)
+            raise ValueError("cannot schedule an event at time NaN")
         return self._queue.push(time, callback)
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -103,41 +121,9 @@ class Simulator:
         Returns:
             The number of events executed.
         """
-        executed = 0
-        self._stopped = False
-        self._running = True
-        queue = self._queue
-        pop_entry = queue.pop_entry
-        try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                if self._stopped:
-                    break
-                entry = pop_entry()
-                if entry is None:
-                    # Queue drained: advance the clock to the horizon.
-                    if until is not None and self.now < until:
-                        self.now = until
-                    break
-                event_time = entry[0]
-                if until is not None and event_time > until:
-                    # Beyond the horizon: put it back (it keeps its original
-                    # FIFO position) and advance the clock to the horizon.
-                    queue.reinsert(entry)
-                    self.now = until
-                    break
-                self.now = event_time
-                obj = entry[2]
-                if obj.__class__ is Event:
-                    obj.callback()
-                else:
-                    obj()
-                executed += 1
-        finally:
-            self._running = False
-            self.events_executed += executed
-        return executed
+        # One extra frame per run() call (not per event): the loop itself
+        # lives in the kernel so it can be swapped wholesale.
+        return self._kernel.run_loop(self, until, max_events)
 
     def set_live_event_counting(self, enabled: bool = True) -> None:
         """Keep :attr:`events_executed` current *during* :meth:`run`.
@@ -146,9 +132,11 @@ class Simulator:
         :attr:`events_executed` once per :meth:`run` call, so mid-run reads
         (the telemetry bus samples events/sec while the clock advances) see
         a stale value.  Rather than tax every event with bookkeeping, this
-        swaps in a per-event-counting loop as an instance attribute -- the
-        same attach-time trick as ``Link.set_failed`` -- so the class-level
-        :meth:`run` stays branch-free when telemetry is off.
+        swaps in the kernel's per-event-counting loop as an instance
+        attribute -- the same attach-time trick as ``Link.set_failed`` -- so
+        the class-level :meth:`run` stays branch-free when telemetry is off.
+        Every kernel supplies the hook (``run_loop_counting``), so telemetry
+        behaves identically regardless of the selected kernel.
         """
         if enabled:
             self.run = self._run_counting  # type: ignore[method-assign]
@@ -157,46 +145,8 @@ class Simulator:
 
     def _run_counting(self, until: Optional[float] = None,
                       max_events: Optional[int] = None) -> int:
-        """:meth:`run` with a live :attr:`events_executed` counter.
-
-        Keep the control flow in lockstep with :meth:`run`; only the counter
-        bookkeeping differs: :attr:`events_executed` *is* the loop counter
-        (one attribute increment per event, no shadowing local), so any
-        callback -- the telemetry tick in particular -- reads a current
-        value.
-        """
-        base = self.events_executed
-        self._stopped = False
-        self._running = True
-        queue = self._queue
-        pop_entry = queue.pop_entry
-        try:
-            while True:
-                if (max_events is not None
-                        and self.events_executed - base >= max_events):
-                    break
-                if self._stopped:
-                    break
-                entry = pop_entry()
-                if entry is None:
-                    if until is not None and self.now < until:
-                        self.now = until
-                    break
-                event_time = entry[0]
-                if until is not None and event_time > until:
-                    queue.reinsert(entry)
-                    self.now = until
-                    break
-                self.now = event_time
-                obj = entry[2]
-                if obj.__class__ is Event:
-                    obj.callback()
-                else:
-                    obj()
-                self.events_executed += 1
-        finally:
-            self._running = False
-        return self.events_executed - base
+        """:meth:`run` with a live :attr:`events_executed` counter."""
+        return self._kernel.run_loop_counting(self, until, max_events)
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -208,7 +158,15 @@ class Simulator:
         return len(self._queue)
 
     def reset(self) -> None:
-        """Clear the event queue and rewind the clock to zero."""
+        """Return the simulator to its just-constructed state.
+
+        Clears the event queue, rewinds the clock, zeroes the lifetime
+        event counter and undoes any :meth:`set_live_event_counting` swap
+        (a reset simulator previously kept both the stale counter and the
+        instance-level counting ``run``).
+        """
         self._queue.clear()
         self.now = 0.0
         self._stopped = False
+        self.events_executed = 0
+        self.__dict__.pop("run", None)

@@ -31,12 +31,20 @@ _pd_ids = itertools.count()
 
 @dataclass(slots=True)
 class PacketDescriptor:
-    """A packet descriptor: packet metadata plus its allocated cell pointers."""
+    """A packet descriptor: packet metadata plus its allocated cell pointers.
 
-    packet: Packet
+    ``generation`` is the pool recycling parity (see
+    ``repro.switchsim.pool``): even while live, odd while free; stays 0 for
+    descriptors never owned by a pool.  ``packet`` is ``Optional`` only
+    because a pooled descriptor on the free list has it cleared -- a live
+    descriptor always carries one.
+    """
+
+    packet: Optional[Packet]
     cell_pointers: List[int]
     enqueue_time: float = 0.0
     pd_id: int = field(default_factory=lambda: next(_pd_ids))
+    generation: int = 0
 
     @property
     def size_bytes(self) -> int:
@@ -55,15 +63,24 @@ class CellPool:
         cell_bytes: cell size; a packet occupies ``ceil(size / cell_bytes)``
             cells, so small packets waste part of their last cell exactly as
             in real chips.
+        descriptor_pool: optional ``repro.switchsim.pool.DescriptorPool``.
+            This class is the single choke point where descriptors are born
+            (:meth:`allocate`) and die (:meth:`release`), so a pooled kernel
+            attaches its pool here and every switch path recycles for free.
+            Released descriptors then come back with ``packet`` cleared --
+            callers must capture ``descriptor.packet`` / sizes *before*
+            releasing (the switch does).
     """
 
-    def __init__(self, buffer_bytes: int, cell_bytes: int = 200) -> None:
+    def __init__(self, buffer_bytes: int, cell_bytes: int = 200,
+                 descriptor_pool=None) -> None:
         if buffer_bytes <= 0:
             raise ValueError("buffer size must be positive")
         if cell_bytes <= 0:
             raise ValueError("cell size must be positive")
         self.buffer_bytes = buffer_bytes
         self.cell_bytes = cell_bytes
+        self.descriptor_pool = descriptor_pool
         self.total_cells = buffer_bytes // cell_bytes
         if self.total_cells == 0:
             raise ValueError(
@@ -136,6 +153,26 @@ class CellPool:
         del free[remaining:]
         self.pointer_memory_ops += needed
         self.data_memory_writes += needed
+        pool = self.descriptor_pool
+        if pool is not None:
+            # Inlined DescriptorPool.acquire (hot path: once per packet per
+            # switch hop) -- keep in sync with repro.switchsim.pool.
+            free_pds = pool._free
+            if free_pds:
+                descriptor = free_pds.pop()
+                if not descriptor.generation & 1:
+                    raise RuntimeError(
+                        f"descriptor pool corruption: descriptor "
+                        f"{descriptor.pd_id} on the free list with live "
+                        f"(even) generation {descriptor.generation}")
+                descriptor.generation += 1  # odd -> even: live again
+                descriptor.packet = packet
+                descriptor.cell_pointers = pointers
+                descriptor.enqueue_time = now
+                descriptor.pd_id = next(_pd_ids)
+                pool.reused += 1
+                return descriptor
+            pool.allocated += 1
         return PacketDescriptor(packet=packet, cell_pointers=pointers, enqueue_time=now)
 
     def release(self, descriptor: PacketDescriptor, read_data: bool) -> int:
@@ -154,7 +191,20 @@ class CellPool:
         self.pointer_memory_ops += freed_cells
         if read_data:
             self.data_memory_reads += freed_cells
-        descriptor.cell_pointers = []
+        pool = self.descriptor_pool
+        if pool is not None:
+            # Inlined DescriptorPool.release (hot path; see allocate).  The
+            # packet's fate (recycle vs live on) is the caller's call.
+            if descriptor.generation & 1:
+                raise RuntimeError(
+                    f"double release: descriptor {descriptor.pd_id} already "
+                    f"has free (odd) generation {descriptor.generation}")
+            descriptor.generation += 1  # even -> odd: free
+            descriptor.packet = None
+            descriptor.cell_pointers = []
+            pool._free.append(descriptor)
+        else:
+            descriptor.cell_pointers = []
         return freed_cells * self.cell_bytes
 
     def reset(self) -> None:

@@ -117,7 +117,19 @@ class SharedMemorySwitch:
         self.on_transmit = on_transmit
         self.name = config.name
 
-        self.cell_pool = CellPool(config.buffer_bytes, config.cell_bytes)
+        # A pooled kernel supplies packet/descriptor free lists; the cell
+        # pool is the descriptor choke point, and the packet-death sites
+        # below release through ``_packet_pool``.  With the default heap
+        # kernel both are None and every path is byte-identical to pre-pool.
+        kernel = simulator.kernel
+        self._packet_pool = kernel.packet_pool
+        self.cell_pool = CellPool(config.buffer_bytes, config.cell_bytes,
+                                  descriptor_pool=kernel.descriptor_pool)
+        if self._packet_pool is not None and on_transmit is None:
+            # Sink switch (no network attached): transmitted packets leave
+            # the model, so recycle them.  Bound *before* the port loop
+            # below captures ``finish_callback`` partials.
+            self._finish_transmit = self._finish_transmit_sink  # type: ignore[method-assign]
         self.stats = SwitchStats(trace_queues=config.trace_queues)
 
         # Incrementally maintained active-queue counts (total and keyed by
@@ -374,9 +386,13 @@ class SharedMemorySwitch:
             self.buffer_utilization(), self.memory_bandwidth_utilization(now)
         )
         self._trace(queue, now)
+        if self._packet_pool is not None:
+            # Arrival drops are the packet's death: recycle it.
+            self._packet_pool.release(packet)
 
     def _execute_evictions(self, evictions: List[EvictionRequest], now: float) -> None:
         """Carry out Pushout-style evictions coupled to an admission."""
+        packet_pool = self._packet_pool
         for request in evictions:
             queue = self._queues[request.queue_id]
             freed = 0
@@ -384,13 +400,17 @@ class SharedMemorySwitch:
                 descriptor = queue.pop_head() if request.from_head else queue.pop_tail()
                 if descriptor is None:
                     break
+                # Capture before release: a pooled cell pool clears the
+                # descriptor (and may recycle it) on the spot.
+                size = descriptor.size_bytes
+                packet = descriptor.packet
                 self.cell_pool.release(descriptor, read_data=False)
-                freed += descriptor.size_bytes
-                queue.record_drop(descriptor.size_bytes, expelled=True)
-                self.stats.record_eviction(queue.queue_id, descriptor.size_bytes)
-                self.manager.on_drop(
-                    queue, descriptor.size_bytes, now, "pushout_evicted"
-                )
+                if packet_pool is not None:
+                    packet_pool.release(packet)
+                freed += size
+                queue.record_drop(size, expelled=True)
+                self.stats.record_eviction(queue.queue_id, size)
+                self.manager.on_drop(queue, size, now, "pushout_evicted")
             self._trace(queue, now)
 
     # ------------------------------------------------------------------
@@ -430,7 +450,9 @@ class SharedMemorySwitch:
         port.tx_queue = None
         port.tx_descriptor = None
         now = self.sim.now
-        size = descriptor.packet.size_bytes
+        # Capture before release: a pooled cell pool clears the descriptor.
+        packet = descriptor.packet
+        size = packet.size_bytes
         self.cell_pool.release(descriptor, read_data=True)
         queue.record_dequeue(size, now)
         if self._mgr_on_dequeue is not None:
@@ -451,7 +473,50 @@ class SharedMemorySwitch:
         if stats.trace_queues:
             self._trace(queue, now)
         if self.on_transmit is not None:
-            self.on_transmit(descriptor.packet, port.port_id)
+            # Ownership of the packet passes to the network layer (link ->
+            # host), which recycles it at its eventual death site.
+            self.on_transmit(packet, port.port_id)
+        self._try_transmit(port)
+        if engine is not None:
+            self._maybe_expel(now)
+
+    def _finish_transmit_sink(self, port: EgressPort) -> None:
+        """Pooled variant of :meth:`_finish_transmit` for sink switches.
+
+        Bound as an instance attribute at construction (the ``set_failed``
+        idiom) when a packet pool is attached and there is no
+        ``on_transmit``: the transmitted packet leaves the model here, so it
+        is recycled instead of garbage-collected.  Body kept in lockstep
+        with :meth:`_finish_transmit`.
+        """
+        queue: SwitchQueue = port.tx_queue
+        descriptor: PacketDescriptor = port.tx_descriptor
+        delay = port.tx_delay
+        port.tx_queue = None
+        port.tx_descriptor = None
+        now = self.sim.now
+        packet = descriptor.packet
+        size = packet.size_bytes
+        self.cell_pool.release(descriptor, read_data=True)
+        self._packet_pool.release(packet)
+        queue.record_dequeue(size, now)
+        if self._mgr_on_dequeue is not None:
+            self._mgr_on_dequeue(queue, size, now)
+        stats = self.stats
+        stats.transmitted_packets += 1
+        stats.transmitted_bytes += size
+        self._memory_rate.record(now, size)
+        engine = self.expulsion_engine
+        if engine is not None:
+            cells = self.cell_pool.cells_for(size)
+            engine.token_bucket.consume_forwarding(cells, now)
+        port.transmitted_packets += 1
+        port.transmitted_bytes += size
+        port.busy_time += delay
+        port.last_tx_end = now
+        port.busy = False
+        if stats.trace_queues:
+            self._trace(queue, now)
         self._try_transmit(port)
         if engine is not None:
             self._maybe_expel(now)
@@ -477,12 +542,17 @@ class SharedMemorySwitch:
         descriptor = queue.pop_head()
         if descriptor is None:
             return None
+        # Capture before release: a pooled cell pool clears the descriptor.
+        size = descriptor.size_bytes
+        packet = descriptor.packet
         self.cell_pool.release(descriptor, read_data=False)
-        queue.record_drop(descriptor.size_bytes, expelled=True)
-        self.stats.record_expulsion(queue.queue_id, descriptor.size_bytes)
-        self.manager.on_drop(queue, descriptor.size_bytes, now, "expelled")
+        if self._packet_pool is not None:
+            self._packet_pool.release(packet)
+        queue.record_drop(size, expelled=True)
+        self.stats.record_expulsion(queue.queue_id, size)
+        self.manager.on_drop(queue, size, now, "expelled")
         self._trace(queue, now)
-        return descriptor.size_bytes
+        return size
 
     # ------------------------------------------------------------------
     # Expulsion engine driver

@@ -98,7 +98,7 @@ class QueueLengthSeries:
     def length_at(self, time: float) -> int:
         """Queue length at (or just before) ``time`` (step interpolation)."""
         result = 0
-        for t, length in zip(self.times, self.lengths):
+        for t, length in zip(self.times, self.lengths, strict=True):
             if t > time:
                 break
             result = length

@@ -35,9 +35,9 @@ class EmpiricalDistribution:
             raise ValueError("need at least two CDF points")
         sizes = [p[0] for p in points]
         probs = [p[1] for p in points]
-        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+        if any(b <= a for a, b in zip(sizes, sizes[1:], strict=False)):
             raise ValueError("sizes must be strictly increasing")
-        if any(b < a for a, b in zip(probs, probs[1:])):
+        if any(b < a for a, b in zip(probs, probs[1:], strict=False)):
             raise ValueError("probabilities must be non-decreasing")
         if abs(probs[-1] - 1.0) > 1e-9:
             raise ValueError("last probability must be 1.0")
@@ -82,7 +82,7 @@ class EmpiricalDistribution:
         """
         total = self._probs[0] * (self._sizes[0] + self._sizes[0]) / 2.0
         prev_size, prev_prob = self._sizes[0], self._probs[0]
-        for size, prob in zip(self._sizes[1:], self._probs[1:]):
+        for size, prob in zip(self._sizes[1:], self._probs[1:], strict=True):
             mass = prob - prev_prob
             total += mass * (size + prev_size) / 2.0
             prev_size, prev_prob = size, prob

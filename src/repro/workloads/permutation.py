@@ -26,7 +26,7 @@ def random_derangement(items: Sequence[int], rng: SeededRNG) -> List[int]:
     while True:
         shuffled = list(items)
         rng.shuffle(shuffled)
-        if all(a != b for a, b in zip(items, shuffled)):
+        if all(a != b for a, b in zip(items, shuffled, strict=True)):
             return shuffled
 
 
@@ -63,5 +63,5 @@ def permutation_flows(
     return [
         FlowSpec(src=src, dst=dst, size_bytes=flow_size_bytes,
                  start_time=start_time, priority=priority)
-        for src, dst in zip(hosts, receivers)
+        for src, dst in zip(hosts, receivers, strict=True)
     ]

@@ -375,7 +375,7 @@ class TestExecutor:
         assert [o.spec.config_hash() for o in serial] == [
             o.spec.config_hash() for o in parallel
         ]
-        for s, p in zip(serial, parallel):
+        for s, p in zip(serial, parallel, strict=True):
             assert s.status == p.status == "ok"
             assert json.dumps(s.result.rows, sort_keys=True) == json.dumps(
                 p.result.rows, sort_keys=True
@@ -476,7 +476,7 @@ class TestRunnerIntegration:
         serial = run_all(scale="bench", names=names, jobs=1)
         parallel = run_all(scale="bench", names=names, jobs=2)
         assert [r.experiment for r in serial] == [r.experiment for r in parallel]
-        for s, p in zip(serial, parallel):
+        for s, p in zip(serial, parallel, strict=True):
             assert json.dumps(s.rows, sort_keys=True) == json.dumps(
                 p.rows, sort_keys=True
             )

@@ -339,7 +339,7 @@ class TestDegradedUplinkSplit:
 # Failed links: pruned routing, complete surviving coverage, live traffic
 # ----------------------------------------------------------------------
 def _crosses(path, a, b):
-    hops = list(zip(path, path[1:]))
+    hops = list(zip(path, path[1:], strict=False))
     return (a, b) in hops or (b, a) in hops
 
 

@@ -83,7 +83,7 @@ class TestPercentiles:
         # most ceil(n / num_points), including in the tail.
         points = cdf_points(range(250), num_points=100)
         ranks = [int(p * 250) for _, p in points]
-        gaps = [b - a for a, b in zip(ranks, ranks[1:])]
+        gaps = [b - a for a, b in zip(ranks, ranks[1:], strict=False)]
         assert max(gaps) <= 3
         assert min(gaps) >= 1
 

@@ -193,7 +193,7 @@ class TestTopologies:
         topo = DumbbellTopology(num_pairs=2, manager_factory=lambda: CompleteSharing(),
                                 edge_rate_bps=10 * GBPS)
         flows = [FlowSpec(src=s, dst=r, size_bytes=60_000, start_time=0.0)
-                 for s, r in zip(topo.senders, topo.receivers)]
+                 for s, r in zip(topo.senders, topo.receivers, strict=True)]
         topo.network.inject_flows(flows, transport="dctcp")
         topo.network.run(until=1.0)
         assert topo.network.flow_stats.completion_fraction() == 1.0

@@ -55,7 +55,9 @@ class TestCaseRegistry:
                             "websearch_fat_tree", "websearch_fattree_degraded",
                             "websearch_fattree_ecmp_lb",
                             "websearch_fattree_flowlet",
-                            "dumbbell_burst", "raw_switch_stream"}
+                            "dumbbell_burst", "raw_switch_stream",
+                            "incast_single_switch_pooled",
+                            "websearch_leaf_spine_pooled"}
         for tier in TIERS:
             assert {c.name for c in available_cases(tier=tier)} == families
 

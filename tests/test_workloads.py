@@ -233,7 +233,7 @@ class TestPermutation:
         for seed in range(5):
             deranged = random_derangement(hosts, SeededRNG(seed))
             assert sorted(deranged) == hosts
-            assert all(a != b for a, b in zip(hosts, deranged))
+            assert all(a != b for a, b in zip(hosts, deranged, strict=True))
 
     def test_permutation_flows_cover_all_hosts(self):
         flows = permutation_flows(list(range(8)), 10_000, rng=SeededRNG(3))
@@ -373,7 +373,7 @@ class TestBurstArrivals:
     def test_constant_rate_spacing(self):
         arrivals = constant_rate_arrivals(10e9, duration=12e-6, packet_bytes=1500)
         assert len(arrivals) == 10
-        gaps = [b[0] - a[0] for a, b in zip(arrivals, arrivals[1:])]
+        gaps = [b[0] - a[0] for a, b in zip(arrivals, arrivals[1:], strict=False)]
         assert all(g == pytest.approx(1.2e-6) for g in gaps)
 
     def test_burst_total_bytes(self):

@@ -1,0 +1,63 @@
+"""Verify a kernel-sweep campaign store: pooled results == heap results.
+
+Usage: python tools/check_kernel_store.py <store-dir>
+
+Loads every run document from ``<store-dir>/runs``, groups the runs by
+their spec with the ``engine`` section stripped (the kernel choice is the
+one intended difference), and requires each group to contain one run per
+kernel with byte-identical ``result`` payloads.  This is the campaign-level
+counterpart of ``python -m repro.perf differential``: the pooled kernel
+must be an allocation strategy, never a behavior change.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    runs_dir = pathlib.Path(argv[0]) / "runs"
+    groups: dict[str, dict[str, str]] = {}
+    for path in sorted(runs_dir.glob("*.json")):
+        doc = json.loads(path.read_text())
+        if doc["status"] != "ok":
+            print(f"FAIL: run {path.name} has status {doc['status']!r}")
+            return 1
+        spec = copy.deepcopy(doc["spec"])
+        engine = spec.get("params", {}).get("scenario", {}).pop("engine", None)
+        kernel = (engine or {}).get("kernel", "heap")
+        key = json.dumps(spec, sort_keys=True)
+        payload = json.dumps(doc["result"], sort_keys=True)
+        groups.setdefault(key, {})[kernel] = payload
+    if not groups:
+        print(f"FAIL: no runs found under {runs_dir}")
+        return 1
+    failures = 0
+    for key, by_kernel in sorted(groups.items()):
+        spec = json.loads(key)
+        name = spec["params"]["scenario"].get("name", "?")
+        label = f"{name} seed={spec.get('seed')}"
+        if set(by_kernel) != {"heap", "pooled"}:
+            print(f"FAIL: {label}: kernels present: {sorted(by_kernel)}")
+            failures += 1
+        elif by_kernel["heap"] != by_kernel["pooled"]:
+            print(f"FAIL: {label}: pooled result diverges from heap")
+            failures += 1
+        else:
+            print(f"ok: {label}: pooled == heap "
+                  f"({len(by_kernel['heap'])} canonical bytes)")
+    if failures:
+        print(f"FAIL: {failures}/{len(groups)} groups diverged")
+        return 1
+    print(f"OK: {len(groups)} spec groups byte-identical across kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
