@@ -117,6 +117,14 @@ class Link:
         #: batch can never collide with an already-fired timestamp.
         self._batch_counts: Deque[int] = deque()
         self._tail_time = -1.0
+        #: Same-timestamp heap band of this link's ``_arrive`` events.  0 by
+        #: default (plain FIFO tie-break); the runner assigns every fabric
+        #: link a distinct positive priority from the sorted link list
+        #: (``Network.assign_event_priorities``) so that same-instant
+        #: arrivals on different wires execute in a *content-determined*
+        #: order -- the property the sharded engine needs to replay
+        #: cross-shard arrivals byte-identically to the one-process oracle.
+        self.event_priority = 0
 
     @classmethod
     def from_spec(cls, sim: Simulator, dst_node: Deliverable, spec: LinkSpec,
@@ -152,7 +160,9 @@ class Link:
         # Inlined Simulator.schedule_fast: links schedule one event per
         # distinct arrival instant, the hottest remaining scheduling call.
         queue = self.sim._queue
-        heappush(queue._heap, (time, next(queue._counter), self._arrive))
+        heappush(queue._heap,
+                 (time, self.event_priority, next(queue._counter),
+                  self._arrive))
 
     def _transmit_failed(self, packet: Packet) -> None:
         """`transmit` of a failed link: blackhole (see :meth:`set_failed`)."""

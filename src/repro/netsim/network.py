@@ -169,6 +169,24 @@ class Network:
         self._register_link(a_to_b, a.name, b.name, a, port_a)
         self._register_link(b_to_a, b.name, a.name, b, port_b)
 
+    def assign_event_priorities(self) -> None:
+        """Give every link's arrival events a stable same-timestamp priority.
+
+        Priorities are assigned from the *sorted* ``(src, dst)`` link list,
+        so they depend only on the fabric's shape -- any process that builds
+        the same topology derives the same priorities.  With them in place,
+        two packets arriving anywhere in the fabric at the same instant are
+        ordered by which wire they came in on rather than by when their
+        arrival events happened to be scheduled; that keeps equal-timestamp
+        ordering locally computable, which is what lets the sharded engine
+        (:mod:`repro.sim.shard`) interleave cross-shard arrivals
+        byte-identically to the single-process oracle.  Called once per
+        scenario by the topology builder seam (``make_topology``); networks
+        built directly keep the plain FIFO tie-break (priority 0).
+        """
+        for index, (_key, fabric) in enumerate(sorted(self.links.items())):
+            fabric.link.event_priority = index + 1
+
     # ------------------------------------------------------------------
     # Fabric model: failures, degradation, capacity-weighted ECMP
     # ------------------------------------------------------------------

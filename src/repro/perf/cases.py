@@ -16,6 +16,9 @@ simulation core:
   bus at default cadence (pins the telemetry overhead);
 * ``websearch_fat_tree`` -- the multi-stage fabric shape: a k=4 fat-tree
   with two ECMP stages and 4-5 switch hops per inter-pod flow;
+* ``websearch_fattree_k8`` -- the sharding shape: a k=8 fat-tree (80
+  switches, 8 pods) sized so conservative-parallel execution
+  (``engine.shards``) has enough pod-local parallelism to win;
 * ``websearch_fattree_degraded`` -- the asymmetric-fabric shape: the same
   fat-tree with a failed agg<->core link and a half-rate edge<->agg uplink
   (failure-pruned routing + capacity-weighted ECMP);
@@ -49,7 +52,6 @@ from repro.scenario.builders import (
 )
 from repro.scenario.scales import get_scale
 from repro.scenario.spec import (
-    EngineSpec,
     FabricSpec,
     LoadBalancerSpec,
     ScenarioSpec,
@@ -120,22 +122,38 @@ def available_cases(tier: Optional[str] = None) -> List[PerfCase]:
     return sorted(cases, key=lambda c: c.case_id)
 
 
-def case_with_kernel(case: PerfCase, kernel: str) -> PerfCase:
-    """A copy of ``case`` whose built specs run on ``kernel``.
+def case_with_engine(case: PerfCase, kernel: Optional[str] = None,
+                     shards: Optional[int] = None,
+                     partition: Optional[str] = None) -> PerfCase:
+    """A copy of ``case`` whose built specs run on the given engine config.
 
     The returned case keeps the same ``case_id`` (snapshots stay
-    comparable across kernels -- that is the point of ``--kernel`` on
-    ``perf run``); only the built spec's ``engine`` section differs.
+    comparable across engine configurations -- that is the point of
+    ``--kernel``/``--shards`` on ``perf run``); only the built spec's
+    ``engine`` section differs.  ``None`` fields keep the base case's
+    value, so overrides compose instead of clobbering each other.
     """
     base_build = case.build
 
     def build() -> ScenarioSpec:
         spec = base_build()
-        spec.engine = EngineSpec(kernel=kernel)
+        engine = spec.engine
+        if kernel is not None:
+            engine = replace(engine, kernel=kernel)
+        if shards is not None:
+            engine = replace(engine, shards=shards)
+        if partition is not None:
+            engine = replace(engine, partition=partition)
+        spec.engine = engine
         return spec
 
     return PerfCase(name=case.name, tier=case.tier, build=build,
                     description=case.description)
+
+
+def case_with_kernel(case: PerfCase, kernel: str) -> PerfCase:
+    """A copy of ``case`` whose built specs run on ``kernel``."""
+    return case_with_engine(case, kernel=kernel)
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +216,27 @@ def _websearch_fat_tree(tier: str) -> ScenarioSpec:
         query_size_bytes=int(0.6 * config.fabric_buffer_bytes_per_port * 8),
         background_load=0.5,
         name=f"perf_websearch_fat_tree_{tier}",
+    )
+
+
+def _websearch_fattree_k8(tier: str) -> ScenarioSpec:
+    # The sharding shape: a k=8 fat-tree (80 switches, 8 pods) with enough
+    # independent pod-local work that conservative-parallel execution has
+    # parallelism to win.  The small tier (32 hosts, compressed window)
+    # feeds the CI differential; medium (64 hosts) is the scale the
+    # shards=1 vs shards=N A/B is judged at.
+    if tier == "small":
+        config = replace(get_scale("bench"), fattree_k=8,
+                         fattree_hosts_per_edge=1, fabric_duration=0.0015)
+    else:
+        config = replace(get_scale("small"), fattree_k=8,
+                         fattree_hosts_per_edge=2, fabric_duration=0.004)
+    return fat_tree_scenario(
+        scheme="dt",
+        config=config,
+        query_size_bytes=int(0.6 * config.fabric_buffer_bytes_per_port * 8),
+        background_load=0.5,
+        name=f"perf_websearch_fattree_k8_{tier}",
     )
 
 
@@ -311,6 +350,10 @@ _BUILDERS = {
     "websearch_fat_tree": (
         _websearch_fat_tree,
         "k=4 fat-tree, multi-stage ECMP, incast + websearch background",
+    ),
+    "websearch_fattree_k8": (
+        _websearch_fattree_k8,
+        "k=8 fat-tree (80 switches, 8 pods): the sharded-execution shape",
     ),
     "websearch_fattree_degraded": (
         _websearch_fattree_degraded,

@@ -9,11 +9,12 @@ Usage::
     python -m repro.perf overhead BASE_CASE VARIANT_CASE [--fail-above PCT]
     python -m repro.perf profile CASE_ID [--top N] [--sort KEY]
     python -m repro.perf differential [CASE_ID ...] [--kernel NAME]
-                                      [--scale small|medium|all]
+                                      [--shards N] [--scale small|medium|all]
 
-``differential`` runs cases under both the heap oracle and a candidate
-kernel and byte-diffs the result documents -- the correctness gate every
-alternative kernel must clear.
+``differential`` runs cases under both the single-process heap oracle and
+a candidate engine configuration (kernel and/or shard count) and
+byte-diffs the result documents -- the correctness gate every alternative
+engine must clear.
 
 ``run`` writes a schema-versioned snapshot (default ``BENCH_perf.json``,
 or ``BENCH_perf_<scale>.json`` when a single scale is selected); ``compare``
@@ -28,7 +29,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.perf.cases import TIERS, available_cases, case_with_kernel, get_case
+from repro.perf.cases import (
+    TIERS,
+    available_cases,
+    case_with_engine,
+    case_with_kernel,
+    get_case,
+)
 from repro.perf.compare import compare_snapshots, evaluate_gate
 from repro.perf.differential import run_differentials
 from repro.perf.harness import (
@@ -67,8 +74,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cases = _select_cases(args.scale, args.cases)
-    if args.kernel != "heap":
-        cases = [case_with_kernel(c, args.kernel) for c in cases]
+    if args.kernel != "heap" or args.shards != 1 or args.partition is not None:
+        cases = [case_with_engine(c, kernel=args.kernel, shards=args.shards,
+                                  partition=args.partition) for c in cases]
 
     def progress(measurement) -> None:
         print(f"[{measurement.case_id}: {measurement.wall_time_s:.4f}s, "
@@ -129,22 +137,40 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     if not cases:
         raise KeyError(f"no perf cases match scale={args.scale!r}")
 
+    candidate = args.kernel
+    if args.shards != 1:
+        candidate += f" x {args.shards} shards"
+
     def progress(outcome) -> None:
+        if outcome.skipped is not None:
+            print(f"[{outcome.case_id}: SKIPPED: {outcome.skipped}]",
+                  flush=True)
+            return
         verdict = "identical" if outcome.identical else "DIVERGED"
         detail = ""
         if outcome.diverging_keys:
             detail = f"  (differs in: {', '.join(outcome.diverging_keys)})"
-        print(f"[{outcome.case_id}: heap vs {outcome.kernel}: {verdict}, "
+        print(f"[{outcome.case_id}: heap vs {candidate}: {verdict}, "
               f"{outcome.events:,} events]{detail}", flush=True)
 
-    results = run_differentials(cases, kernel=args.kernel, progress=progress)
-    diverged = [r for r in results if not r.identical]
+    results = run_differentials(cases, kernel=args.kernel, shards=args.shards,
+                                partition=args.partition, progress=progress)
+    skipped = [r for r in results if r.skipped is not None]
+    covered = [r for r in results if r.skipped is None]
+    diverged = [r for r in covered if not r.identical]
+    if skipped:
+        print(f"note: {len(skipped)}/{len(results)} case(s) skipped "
+              f"(cannot run {candidate!r}); see lines above")
     if diverged:
-        print(f"FAIL: {len(diverged)}/{len(results)} case(s) diverged "
-              f"from the heap oracle under kernel {args.kernel!r}")
+        print(f"FAIL: {len(diverged)}/{len(covered)} case(s) diverged "
+              f"from the heap oracle under {candidate!r}")
         return 1
-    print(f"OK: {len(results)} case(s) byte-identical between the heap "
-          f"oracle and kernel {args.kernel!r}")
+    if not covered:
+        print(f"FAIL: every selected case was skipped -- the differential "
+              f"covered nothing under {candidate!r}")
+        return 1
+    print(f"OK: {len(covered)} case(s) byte-identical between the heap "
+          f"oracle and {candidate!r}")
     return 0
 
 
@@ -169,6 +195,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="snapshot path (default: BENCH_perf[_scale].json)")
     run_p.add_argument("--kernel", default="heap",
                        help="simulation kernel to run under (default: heap)")
+    run_p.add_argument("--shards", type=int, default=1,
+                       help="shard processes to run under (default: 1)")
+    run_p.add_argument("--partition", default=None,
+                       help="partition strategy with --shards > 1 "
+                            "(default: the spec's, normally auto)")
 
     cmp_p = sub.add_parser("compare", help="compare two snapshots")
     cmp_p.add_argument("baseline", help="baseline snapshot path")
@@ -210,6 +241,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "registered non-twin case at --scale")
     diff_p.add_argument("--kernel", default="pooled",
                         help="candidate kernel to diff (default: pooled)")
+    diff_p.add_argument("--shards", type=int, default=1,
+                        help="candidate shard count to diff; cases whose "
+                             "topology cannot be cut are loudly skipped "
+                             "(default: 1)")
+    diff_p.add_argument("--partition", default=None,
+                        help="partition strategy with --shards > 1 "
+                             "(default: the spec's, normally auto)")
     diff_p.add_argument("--scale", default="all",
                         choices=list(TIERS) + ["all"],
                         help="tier to cover when no cases are named "

@@ -30,22 +30,41 @@ from repro.perf.cases import PerfCase
 from repro.scenario.runner import ScenarioRunner
 from repro.workloads import reset_workload_ids
 
-#: Bump when the snapshot layout changes incompatibly.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: Bump when the snapshot layout changes incompatibly.  Version 2 added the
+#: ``peak_child_rss_kb`` field: with the sharded engine the simulation
+#: lives in worker processes, whose memory RUSAGE_SELF never sees.
+SNAPSHOT_SCHEMA_VERSION = 2
+
+
+def _maxrss_kb(who: int) -> int:
+    usage = resource.getrusage(who).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - ru_maxrss in bytes
+        return usage // 1024
+    return usage
 
 
 def peak_rss_kb() -> int:
-    """Peak resident set size of this process, in KiB.
+    """Peak resident set size, in KiB: this process **plus** the largest
+    reaped child.
 
     ``ru_maxrss`` is a high-water mark: it only ever grows over the process
     lifetime, so per-case values in one run share earlier cases' peaks.  It
     is still the right CI tripwire -- a leak or blow-up in any case raises
-    the final number.
+    the final number.  RUSAGE_CHILDREN (the max over waited-for children)
+    is folded in so sharded-engine runs, whose simulators live in worker
+    processes, cannot under-report; single-process runs report a few MB of
+    interpreter baseline from campaign workers at most.
     """
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if platform.system() == "Darwin":  # pragma: no cover - ru_maxrss in bytes
-        return usage // 1024
-    return usage
+    return _maxrss_kb(resource.RUSAGE_SELF) + _maxrss_kb(
+        resource.RUSAGE_CHILDREN)
+
+
+def peak_child_rss_kb() -> int:
+    """Peak resident set size over reaped child processes, in KiB.
+
+    Zero when the process never forked (the single-process engine).
+    """
+    return _maxrss_kb(resource.RUSAGE_CHILDREN)
 
 
 @dataclass
@@ -58,6 +77,7 @@ class CaseMeasurement:
     packets: int
     repetitions: List[float] = field(default_factory=list)
     peak_rss_kb: int = 0
+    peak_child_rss_kb: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -75,6 +95,7 @@ class CaseMeasurement:
             "packets": self.packets,
             "packets_per_sec": round(self.packets_per_sec, 1),
             "peak_rss_kb": self.peak_rss_kb,
+            "peak_child_rss_kb": self.peak_child_rss_kb,
             "repetitions_s": [round(r, 6) for r in self.repetitions],
         }
 
@@ -118,6 +139,7 @@ def measure_case(case: PerfCase, warmup: int = 1,
         packets=packets,
         repetitions=times,
         peak_rss_kb=peak_rss_kb(),
+        peak_child_rss_kb=peak_child_rss_kb(),
     )
 
 

@@ -48,20 +48,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_file(args.spec)
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
+    # Each engine flag overrides its own field only (--shards must not
+    # clobber a --kernel given alongside it, and vice versa).
+    engine = spec.engine
     if args.kernel is not None:
-        from repro.scenario.spec import EngineSpec
-
-        spec = replace(spec, engine=EngineSpec(kernel=args.kernel))
+        engine = replace(engine, kernel=args.kernel)
+    if args.shards is not None:
+        engine = replace(engine, shards=args.shards)
+    if args.partition is not None:
+        engine = replace(engine, partition=args.partition)
+    if engine is not spec.engine:
+        spec = replace(spec, engine=engine)
     dashboard = None
     if args.live:
-        from repro.telemetry.dashboard import LiveDashboard
-
         # --live implies telemetry: force-enable the bus (keeping any
         # cadence the document configured) so there is something to render.
         if not spec.telemetry.enabled:
             spec = replace(spec,
                            telemetry=replace(spec.telemetry, enabled=True))
-        dashboard = LiveDashboard(spec.label())
+        if spec.engine.shards > 1:
+            from repro.telemetry.dashboard import ShardDashboard
+
+            dashboard = ShardDashboard(spec.label())
+        else:
+            from repro.telemetry.dashboard import LiveDashboard
+
+            dashboard = LiveDashboard(spec.label())
     reset_workload_ids()
     result = run_scenario(spec, on_sample=dashboard)
     if dashboard is not None and result.telemetry is not None:
@@ -72,7 +84,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         print(f"[{spec.label()}  hash={spec.config_hash()}]")
         print(experiment_result)
+    shard_stats = getattr(result, "shard_stats", None)
+    if shard_stats is not None and not args.json:
+        _print_shard_rows(shard_stats)
     return 0
+
+
+def _print_shard_rows(shard_stats: dict) -> None:
+    """Per-shard diagnostic rows (stderr: never mixes into piped output)."""
+    partition = shard_stats["partition"]
+    print(f"[shards={partition['num_shards']} "
+          f"strategy={partition['strategy']} "
+          f"cut_links={len(partition['cut_links'])} "
+          f"lookahead={partition['lookahead'] * 1e6:.2f}us "
+          f"rounds={shard_stats['rounds']}]", file=sys.stderr)
+    for row in shard_stats["shards"]:
+        busy = row["busy_s"]
+        blocked = row["blocked_s"]
+        total = busy + blocked
+        rate = row["events"] / busy if busy > 0 else 0.0
+        print(f"  shard {row['shard']}: nodes={row['nodes']} "
+              f"events={row['events']} ({rate:,.0f} ev/s) "
+              f"handoffs out/in={row['handoffs_out']}/{row['handoffs_in']} "
+              f"blocked={100 * blocked / total if total else 0:.0f}% "
+              f"rss={row['peak_rss_kb']}kB", file=sys.stderr)
 
 
 def _cmd_registries(args: argparse.Namespace) -> int:
@@ -82,12 +117,14 @@ def _cmd_registries(args: argparse.Namespace) -> int:
     from repro.scenario.topologies import available_topologies
     from repro.scenario.transports import available_transport_profiles
     from repro.scenario.workloads import available_workloads
+    from repro.sim.kernel import available_kernels
 
     print("schemes:            " + ", ".join(available_schemes()))
     print("topologies:         " + ", ".join(available_topologies()))
     print("workloads:          " + ", ".join(available_workloads()))
     print("transport profiles: " + ", ".join(available_transport_profiles()))
     print("load balancers:     " + ", ".join(available_load_balancers()))
+    print("engine kernels:     " + ", ".join(available_kernels()))
     return 0
 
 
@@ -123,6 +160,33 @@ def _validate_fabric_resolves(spec: ScenarioSpec, seen: set) -> None:
             network.check_fabric_event(event)
 
 
+def _validate_partition_resolves(spec: ScenarioSpec, seen: set) -> None:
+    """Build and partition the topology of a multi-shard spec (no traffic).
+
+    ``EngineSpec.validate`` only checks that the strategy name exists;
+    whether the cut is *valid* for this topology (enough pods/leaves,
+    positive cut-link delays, full node cover) is decided by the
+    partitioner against the built fabric.  Resolving it here makes a stale
+    example -- say a shard count exceeding the pod count -- fail
+    validation instead of failing at run time.
+    """
+    from repro.core.registry import make_buffer_manager
+    from repro.netsim.partition import partition_topology
+    from repro.scenario.spec import canonical_json
+    from repro.scenario.topologies import make_topology
+
+    if spec.engine.shards <= 1:
+        return
+    key = canonical_json([spec.topology.to_dict(), spec.engine.to_dict()])
+    if key in seen:
+        return
+    seen.add(key)
+    topology = make_topology(spec.topology.kind,
+                             lambda: make_buffer_manager("dt"),
+                             **spec.resolved_topology_params())
+    partition_topology(topology, spec.engine.shards, spec.engine.partition)
+
+
 def validate_spec_file(path: str) -> str:
     """Parse and validate one spec document; returns its detected kind.
 
@@ -153,10 +217,12 @@ def validate_spec_file(path: str) -> str:
                 spec = ScenarioSpec.from_dict(embedded)
                 runner.validate(spec)
                 _validate_fabric_resolves(spec, built)
+                _validate_partition_resolves(spec, built)
         return f"campaign ({len(runs)} runs)"
     spec = ScenarioSpec.from_dict(document)
     runner.validate(spec)
     _validate_fabric_resolves(spec, built)
+    _validate_partition_resolves(spec, built)
     return "scenario"
 
 
@@ -191,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--kernel", default=None,
                        help="override the document's engine.kernel "
                             "(e.g. heap, pooled)")
+    p_run.add_argument("--shards", type=int, default=None,
+                       help="override the document's engine.shards (run the "
+                            "fabric as N parallel shard processes)")
+    p_run.add_argument("--partition", default=None,
+                       help="override the document's engine.partition "
+                            "strategy (auto, pods, leaves, contiguous)")
     p_run.add_argument("--json", action="store_true",
                        help="print the result as JSON instead of a table")
     p_run.add_argument("--live", action="store_true",

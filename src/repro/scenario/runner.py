@@ -242,6 +242,12 @@ class ScenarioRunner:
 
     def run(self, spec: ScenarioSpec,
             on_sample: Optional[Callable] = None) -> ScenarioResult:
+        if spec.engine.shards > 1:
+            # Conservative-parallel execution: the sharded executor spawns
+            # one process per shard and merges a byte-identical result.
+            from repro.sim.shard import run_sharded
+
+            return run_sharded(spec, on_sample=on_sample)
         self.validate(spec)
         manager_factory = lambda: make_buffer_manager(  # noqa: E731
             spec.scheme.name, **spec.scheme.kwargs)
@@ -358,6 +364,18 @@ class ScenarioRunner:
                     f"{spec.topology.kind!r} has no links to fail or repair")
         spec.telemetry.validate()
         spec.engine.validate()
+        if spec.engine.shards > 1:
+            if topology_level(spec.topology.kind) == LEVEL_SWITCH:
+                raise ValueError(
+                    f"engine.shards > 1 needs a network-level topology; "
+                    f"{spec.topology.kind!r} has no link graph to "
+                    "partition")
+            if spec.fabric.events:
+                raise ValueError(
+                    "engine.shards > 1 cannot run a fabric event timeline "
+                    "yet: mid-run failures would change cut-link state "
+                    "under the conservative lookahead.  Static "
+                    "fabric.failures/degraded are supported")
         spec.resolved_topology_params()  # fabric/topology collision check
         # Protocol names resolve eagerly too (raises KeyError on typos).
         make_transport(spec.transport.protocol)

@@ -446,35 +446,64 @@ class EngineSpec:
             ``heap`` (the pure-Python oracle, the default) or ``pooled``
             (free-listed events plus packet/descriptor pools).  Campaign
             sweeps address it with an ``engine.kernel`` dotted axis.
+        shards: number of conservative-parallel shard processes (see
+            :mod:`repro.sim.shard`); ``1`` (the default) runs in-process.
+            Sweepable via an ``engine.shards`` dotted axis.
+        partition: fabric partitioning strategy for sharded runs (see
+            :data:`repro.netsim.partition.PARTITION_STRATEGIES`):
+            ``auto`` (topology-aware, the default), ``pods``, ``leaves``
+            or ``contiguous``.
 
-    The default (``heap``) is *omitted* from :meth:`ScenarioSpec.to_dict`
-    -- the same backward-compat trick as :class:`FabricSpec` /
-    :class:`LoadBalancerSpec` / :class:`TelemetrySpec` -- so an explicit
-    ``"engine": {"kernel": "heap"}`` and an omitted section produce
-    byte-identical canonical documents and config hashes, both equal to
-    the pre-kernel ones.  A non-default kernel *does* change the hash:
-    result documents are expected to be byte-identical across kernels
-    (that is the differential gate), but which engine produced a stored
-    artifact is part of its identity.
+    The default (``heap`` / 1 shard / ``auto``) is *omitted* from
+    :meth:`ScenarioSpec.to_dict` -- the same backward-compat trick as
+    :class:`FabricSpec` / :class:`LoadBalancerSpec` /
+    :class:`TelemetrySpec` -- and the ``shards`` / ``partition`` keys are
+    individually omitted when default, so an explicit
+    ``"engine": {"kernel": "pooled"}`` keeps its pre-sharding canonical
+    document and config hash.  A non-default engine *does* change the
+    hash: result documents are expected to be byte-identical across
+    engine configurations (that is the differential gate), but which
+    engine produced a stored artifact is part of its identity.
     """
 
     kernel: str = "heap"
+    shards: int = 1
+    partition: str = "auto"
 
     def is_default(self) -> bool:
-        return self.kernel == "heap"
+        return (self.kernel == "heap" and self.shards == 1
+                and self.partition == "auto")
 
     def validate(self) -> None:
         # Imported lazily: the spec layer stays importable without pulling
         # the whole sim stack in at module-import time.
+        from repro.netsim.partition import PARTITION_STRATEGIES
         from repro.sim.kernel import available_kernels
 
         if self.kernel not in available_kernels():
             raise ValueError(
                 f"unknown engine.kernel {self.kernel!r}; "
                 f"available: {', '.join(available_kernels())}")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ValueError(
+                f"engine.shards must be an integer, got {self.shards!r}")
+        if self.shards < 1:
+            raise ValueError(
+                f"engine.shards must be >= 1, got {self.shards}")
+        if self.partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown engine.partition {self.partition!r}; "
+                f"available: {', '.join(PARTITION_STRATEGIES)}")
 
     def to_dict(self) -> Dict[str, object]:
-        return {"kernel": self.kernel}
+        # shards/partition only appear when non-default, so pre-sharding
+        # engine documents (and their config hashes) are byte-stable.
+        doc: Dict[str, object] = {"kernel": self.kernel}
+        if self.shards != 1:
+            doc["shards"] = self.shards
+        if self.partition != "auto":
+            doc["partition"] = self.partition
+        return doc
 
     @classmethod
     def from_dict(
@@ -485,7 +514,11 @@ class EngineSpec:
             return cls()
         if isinstance(data, str):  # shorthand: "pooled"
             return cls(kernel=data)
-        return cls(kernel=str(data.get("kernel", "heap")))
+        return cls(
+            kernel=str(data.get("kernel", "heap")),
+            shards=int(data.get("shards", 1)),
+            partition=str(data.get("partition", "auto")),
+        )
 
 
 @dataclass

@@ -66,9 +66,20 @@ def topology_level(name: str) -> str:
 
 
 def make_topology(name: str, manager_factory: Callable[[], object], **params):
-    """Build the topology registered under ``name``."""
+    """Build the topology registered under ``name``.
+
+    Network-level topologies get their link-arrival event priorities
+    assigned here (see ``Network.assign_event_priorities``): every process
+    that builds the same spec derives the same priorities, which is what
+    keeps equal-timestamp arrival ordering identical between the
+    single-process oracle and the sharded engine's workers.
+    """
     entry = _TOPOLOGIES.get(name)
-    return entry.builder(manager_factory, **params)
+    topology = entry.builder(manager_factory, **params)
+    network = getattr(topology, "network", None)
+    if network is not None and hasattr(network, "assign_event_priorities"):
+        network.assign_event_priorities()
+    return topology
 
 
 # ----------------------------------------------------------------------

@@ -84,9 +84,9 @@ class Simulator:
         # scheduling call in the simulator, worth one fewer frame.
         # NOTE: Link.transmit (repro.netsim.link) inlines this body once
         # more (measured ~5% of its per-packet cost) -- keep the heap entry
-        # shape (time, counter, callback) in sync with it.
+        # shape (time, priority, counter, callback) in sync with it.
         queue = self._queue
-        heappush(queue._heap, (time, next(queue._counter), callback))
+        heappush(queue._heap, (time, 0, next(queue._counter), callback))
 
     def at(self, time: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at absolute simulation time ``time``.

@@ -1,9 +1,16 @@
 """Event queue primitives for the discrete-event kernel.
 
 The kernel is deliberately small: the queue is a binary heap of
-``(time, seq, event)`` tuples.  The sequence number breaks ties so that
-events scheduled at the same timestamp execute in FIFO order, which keeps
-simulations deterministic; storing plain tuples (rather than comparable
+``(time, priority, seq, event)`` tuples.  ``priority`` is a small integer
+band that orders events scheduled at the same timestamp *by content* rather
+than by scheduling history: ordinary events carry priority 0 and keep FIFO
+order among themselves (the sequence number breaks the remaining ties), while
+link-arrival events carry the link's stable fabric-wide priority (see
+``Network.assign_event_priorities``).  Content-keyed tie-breaking is what
+makes the sharded engine byte-identical to the single-process oracle: the
+relative order of two same-instant arrivals no longer depends on the global
+scheduling counter (unknowable across process boundaries), only on which
+wire each packet came in on.  Storing plain tuples (rather than comparable
 event objects) keeps every heap comparison in C, which matters because heap
 maintenance dominates the kernel's cost at scale.
 """
@@ -49,7 +56,7 @@ class EventQueue:
     """A binary-heap event queue with lazy cancellation."""
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -69,35 +76,38 @@ class EventQueue:
         if time != time:  # fast NaN check without math.isnan
             raise ValueError("cannot schedule an event at time NaN")
         event = Event(time, next(self._counter), callback)
-        heapq.heappush(self._heap, (time, event.seq, event))
+        heapq.heappush(self._heap, (time, 0, event.seq, event))
         return event
 
-    def push_callback(self, time: float, callback: Callable[[], Any]) -> None:
+    def push_callback(self, time: float, callback: Callable[[], Any],
+                      priority: int = 0) -> None:
         """Schedule a *non-cancellable* callback at absolute ``time``.
 
         The hot scheduling path: no :class:`Event` wrapper is allocated, the
         bare callable sits in the heap entry.  Use :meth:`push` whenever the
-        caller may need to cancel.
+        caller may need to cancel.  ``priority`` is the same-timestamp band
+        (0 for ordinary events; links pass their fabric-wide priority).
         """
         if time != time:  # fast NaN check without math.isnan
             raise ValueError("cannot schedule an event at time NaN")
-        heapq.heappush(self._heap, (time, next(self._counter), callback))
+        heapq.heappush(self._heap,
+                       (time, priority, next(self._counter), callback))
 
-    def reinsert(self, entry: Tuple[float, int, Any]) -> None:
+    def reinsert(self, entry: Tuple[float, int, int, Any]) -> None:
         """Put a popped heap entry back, keeping its original FIFO position."""
         heapq.heappush(self._heap, entry)
 
-    def pop_entry(self) -> Optional[Tuple[float, int, Any]]:
-        """Pop the earliest live heap entry ``(time, seq, event_or_callback)``.
+    def pop_entry(self) -> Optional[Tuple[float, int, int, Any]]:
+        """Pop the earliest live entry ``(time, priority, seq, event_or_cb)``.
 
-        Cancelled events are skipped.  The third element is either an
+        Cancelled events are skipped.  The last element is either an
         :class:`Event` (whose ``callback`` must be invoked) or a bare
         callable pushed by :meth:`push_callback`.
         """
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
-            obj = entry[2]
+            obj = entry[3]
             if obj.__class__ is Event and obj.cancelled:
                 continue
             return entry
@@ -112,16 +122,16 @@ class EventQueue:
         entry = self.pop_entry()
         if entry is None:
             return None
-        obj = entry[2]
+        obj = entry[3]
         if obj.__class__ is Event:
             return obj
-        return Event(entry[0], entry[1], obj)
+        return Event(entry[0], entry[2], obj)
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest pending event, if any."""
         heap = self._heap
         while heap:
-            obj = heap[0][2]
+            obj = heap[0][3]
             if obj.__class__ is Event and obj.cancelled:
                 heapq.heappop(heap)
                 continue

@@ -2,8 +2,8 @@
 
 A :class:`SimKernel` owns everything the inner loop of the discrete-event
 simulator touches: the pending-event heap (it *is* an
-:class:`~repro.sim.events.EventQueue`, so the ``(time, seq, obj)`` entry
-shape and the inlined hot paths in :meth:`Simulator.schedule_fast
+:class:`~repro.sim.events.EventQueue`, so the ``(time, priority, seq,
+obj)`` entry shape and the inlined hot paths in :meth:`Simulator.schedule_fast
 <repro.sim.engine.Simulator.schedule_fast>` and
 ``Link.transmit`` keep working unchanged), the dispatch loop
 (:meth:`~SimKernel.run_loop` and its live-counting twin
@@ -46,7 +46,8 @@ class SimKernel(EventQueue):
 
     Subclasses inherit the :class:`~repro.sim.events.EventQueue` storage
     contract (``push`` / ``push_callback`` / ``pop_entry`` / ``reinsert``
-    over a ``(time, seq, event_or_callback)`` tuple heap) and add the
+    over a ``(time, priority, seq, event_or_callback)`` tuple heap) and add
+    the
     dispatch loops.  The loops receive the owning
     :class:`~repro.sim.engine.Simulator` and drive its public clock/flags
     (``now``, ``_stopped``, ``_running``, ``events_executed``) exactly the
@@ -121,7 +122,7 @@ class HeapKernel(SimKernel):
                     sim.now = until
                     break
                 sim.now = event_time
-                obj = entry[2]
+                obj = entry[3]
                 if obj.__class__ is Event:
                     obj.callback()
                 else:
@@ -159,7 +160,7 @@ class HeapKernel(SimKernel):
                     sim.now = until
                     break
                 sim.now = event_time
-                obj = entry[2]
+                obj = entry[3]
                 if obj.__class__ is Event:
                     obj.callback()
                 else:
@@ -229,7 +230,7 @@ class PooledKernel(HeapKernel):
         else:
             event = Event(time, next(self._counter), callback)
             seq = event.seq
-        heappush(self._heap, (time, seq, event))
+        heappush(self._heap, (time, 0, seq, event))
         return event
 
     def pop_entry(self):
@@ -238,7 +239,7 @@ class PooledKernel(HeapKernel):
         free = self._free_events
         while heap:
             entry = heappop(heap)
-            obj = entry[2]
+            obj = entry[3]
             if obj.__class__ is Event and obj.cancelled:
                 obj.callback = None  # drop the closure; fail loudly if fired
                 free.append(obj)
@@ -268,7 +269,7 @@ class PooledKernel(HeapKernel):
         try:
             if until is None:
                 while heap and not sim._stopped:
-                    event_time, _seq, obj = heappop(heap)
+                    event_time, _priority, _seq, obj = heappop(heap)
                     if obj.__class__ is event_cls:
                         if obj.cancelled:
                             obj.callback = None
@@ -292,7 +293,8 @@ class PooledKernel(HeapKernel):
                             sim.now = until
                         break
                     entry = heappop(heap)
-                    event_time, _seq, obj = entry
+                    event_time = entry[0]
+                    obj = entry[3]
                     if obj.__class__ is event_cls and obj.cancelled:
                         obj.callback = None
                         free_events.append(obj)
@@ -344,7 +346,7 @@ class PooledKernel(HeapKernel):
                     sim.now = until
                     break
                 sim.now = event_time
-                obj = entry[2]
+                obj = entry[3]
                 if obj.__class__ is Event:
                     obj.callback()
                     obj.callback = None
@@ -387,7 +389,7 @@ class PooledKernel(HeapKernel):
                     sim.now = until
                     break
                 sim.now = event_time
-                obj = entry[2]
+                obj = entry[3]
                 if obj.__class__ is Event:
                     obj.callback()
                     obj.callback = None

@@ -8,6 +8,12 @@ append-only progress lines otherwise (pipes, CI logs).
   clock progress, events/sec, fabric buffer occupancy (current and peak),
   the top-N hottest ports and the admit/drop totals while a scenario runs
   (``python -m repro.scenario run --live``).
+* :class:`ShardDashboard` plugs into the sharded executor's round loop
+  (``python -m repro.scenario run --live --shards N``): worker-process
+  telemetry buses are unobservable from the parent, so it renders the
+  per-round :class:`~repro.sim.shard.ShardRound` snapshots instead --
+  global clock progress plus one row per shard (local time, events,
+  handoffs).
 * :class:`CampaignBoard` is a campaign progress callback
   (``python -m repro.campaign run --live``) rendering one row per
   experiment with done/ok/failed/cached counts and throughput.
@@ -134,6 +140,77 @@ class LiveDashboard(_Board):
         if hottest:
             lines.append("  ports   " + "  ".join(
                 f"{name} {_fmt_bytes(backlog)}" for name, backlog in hottest))
+        return lines
+
+
+class ShardDashboard(_Board):
+    """A sharded-run round hook rendering per-shard live progress.
+
+    The ``shard_aware`` flag tells :func:`repro.sim.shard.run_sharded` to
+    feed this object a :class:`~repro.sim.shard.ShardRound` after every
+    conservative exchange (plain telemetry hooks are ignored there -- the
+    buses live in the worker processes).
+    """
+
+    shard_aware = True
+
+    def __init__(self, label: str, stream: Optional[TextIO] = None,
+                 use_ansi: Optional[bool] = None,
+                 min_refresh_s: float = 0.2) -> None:
+        super().__init__(stream=stream, use_ansi=use_ansi,
+                         min_refresh_s=min_refresh_s)
+        self.label = label
+        self._rate_wall = None  # type: Optional[float]
+        self._rate_events = 0
+        self._events_per_sec = 0.0
+        self._last_round = None
+
+    def __call__(self, snapshot) -> None:
+        self._last_round = snapshot
+        wall = time.perf_counter()
+        events = sum(row["events"] for row in snapshot.shards)
+        if self._rate_wall is not None and wall > self._rate_wall:
+            self._events_per_sec = ((events - self._rate_events)
+                                    / (wall - self._rate_wall))
+        self._rate_wall, self._rate_events = wall, events
+        if self._due():
+            self._paint(self._lines())
+
+    def finish(self, telemetry=None) -> None:
+        """Paint the final state (always) and leave the board on screen.
+
+        The merged telemetry document is accepted for interface parity with
+        :meth:`LiveDashboard.finish` but carries no live state to render.
+        """
+        del telemetry
+        if self._last_round is not None:
+            self._paint(self._lines(final=True))
+
+    def _lines(self, final: bool = False) -> List[str]:
+        snap = self._last_round
+        clock = min(snap.horizon, snap.final_horizon)
+        fraction = (min(1.0, clock / snap.final_horizon)
+                    if snap.final_horizon else 1.0)
+        if final:
+            fraction = 1.0
+        bar_cells = 24
+        filled = int(round(fraction * bar_cells))
+        bar = "#" * filled + "-" * (bar_cells - filled)
+        state = "done" if final else "live"
+        total_events = sum(row["events"] for row in snap.shards)
+        total_handoffs = sum(row["handoffs"] for row in snap.shards)
+        lines = [
+            f"[{state}] {self.label}  ({len(snap.shards)} shards)",
+            (f"  clock   {clock * 1e3:9.3f} / {snap.final_horizon * 1e3:.3f} ms "
+             f"[{bar}] {fraction * 100:5.1f}%"),
+            (f"  rounds  {snap.round:,}   events {total_events:,}   "
+             f"{_fmt_rate(self._events_per_sec)} ev/s   "
+             f"handoffs {total_handoffs:,}"),
+        ]
+        for row in snap.shards:
+            lines.append(
+                f"  shard {row['shard']}  t={row['now'] * 1e3:9.3f}ms  "
+                f"events {row['events']:,}  handoffs {row['handoffs']:,}")
         return lines
 
 

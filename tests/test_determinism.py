@@ -215,8 +215,11 @@ def test_telemetry_off_hash_is_frozen():
 
 def test_telemetry_off_document_matches_pre_pr_golden():
     """The default (telemetry off) result document is byte-identical to the
-    document this spec produced before the telemetry PR, modulo the new
-    always-present ``sim`` metadata and ``fct`` context sections."""
+    stored golden, modulo the always-present ``sim`` metadata and ``fct``
+    context sections.  (Originally captured before the telemetry PR;
+    re-captured when the kernel gained content-keyed same-timestamp
+    ordering -- ``Link.event_priority`` -- which changed equal-time
+    arrival arbitration.)"""
     golden = json.loads(
         (DATA_DIR / "dumbbell_result_pre_telemetry.json").read_text())
     document = json.loads(_run_to_json())

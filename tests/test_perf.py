@@ -55,6 +55,7 @@ class TestCaseRegistry:
                             "websearch_fat_tree", "websearch_fattree_degraded",
                             "websearch_fattree_ecmp_lb",
                             "websearch_fattree_flowlet",
+                            "websearch_fattree_k8",
                             "dumbbell_burst", "raw_switch_stream",
                             "incast_single_switch_pooled",
                             "websearch_leaf_spine_pooled"}

@@ -424,7 +424,14 @@ def _golden(name: str) -> dict:
 
 
 class TestLegacyEquivalence:
-    """The goldens were captured from the pre-scenario hand-wired code."""
+    """The goldens were captured from the pre-scenario hand-wired code.
+
+    fig06/fig13/fig17 were re-captured when the kernel gained
+    content-keyed same-timestamp ordering (``Link.event_priority``, the
+    sharded-engine determinism prerequisite): equal-time arrival
+    arbitration changed, which shifts outcomes in synchronized-start
+    scenarios.  fig03 survived the transition byte-identical.
+    """
 
     def test_fig13_bench_row_for_row(self):
         from repro.experiments import fig13_qct_fct
@@ -463,6 +470,9 @@ class TestHotPathEquivalence:
     expulsion engine (fig11/fig12), the single-switch transport stack
     (fig03/fig06/fig13), and the ECMP leaf-spine fabric (fig17/fig19).  Any
     behaviour change in the simulation core shows up as a row diff here.
+    (fig19 was re-captured with the content-keyed same-timestamp ordering
+    -- see :class:`TestLegacyEquivalence`; fig11/fig12 survived it
+    byte-identical.)
     """
 
     def test_fig11_bench_row_for_row(self):

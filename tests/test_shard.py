@@ -1,0 +1,248 @@
+"""Sharded conservative-parallel execution: byte-identity and loud failure.
+
+The sharded engine's contract is strict: for any shard count the topology
+supports, the merged ``ScenarioResult.to_dict()`` document must be
+**byte-identical** to the single-process heap oracle's (modulo the spec's
+own ``engine`` section, which records which engine ran).  This module
+checks that contract at every level of the determinism ladder -- in
+process, across campaign workers, across fresh interpreters with hash
+randomization -- plus the partitioner's validation guarantees and the
+executor's crash behavior (loud ``ShardCrash`` with the worker's
+traceback, never a hang).
+"""
+
+import json
+import multiprocessing
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+# Imported before anything that pulls in repro.netsim directly: the
+# scenario package settles the netsim<->scenario import cycle.
+from repro.scenario import EngineSpec, ScenarioSpec, run_scenario
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.spec import RunSpec
+from repro.core.registry import make_buffer_manager
+from repro.netsim.partition import partition_topology
+from repro.scenario.topologies import make_topology
+from repro.sim.shard import ShardCrash
+from repro.workloads import reset_workload_ids
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SRC_DIR = Path(__file__).parent.parent / "src"
+
+
+def _spec(shards: int = 1) -> ScenarioSpec:
+    # The fat-tree websearch example: k=4 (4 pods), two ECMP stages, three
+    # workload families -- the richest standing determinism scenario, and a
+    # pod cut supports up to 4 shards.
+    spec = ScenarioSpec.from_file(EXAMPLES_DIR / "scenario_fattree_websearch.json")
+    spec.duration = 0.0015
+    if shards > 1:
+        spec = replace(spec, engine=EngineSpec(shards=shards))
+    return spec
+
+
+def _run_to_json(spec: ScenarioSpec) -> str:
+    """Canonical document with the engine section stripped.
+
+    The sharded spec embeds ``engine.shards`` (it is part of the config
+    hash), so raw documents always differ from the oracle's; which engine
+    ran is spec identity, not simulation outcome.
+    """
+    reset_workload_ids()
+    document = run_scenario(spec).to_dict()
+    document["spec"].pop("engine", None)
+    return json.dumps(document, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Partitioner: cut validity is decided at validation time
+# ----------------------------------------------------------------------
+def _build_topology(spec: ScenarioSpec):
+    return make_topology(spec.topology.kind,
+                         lambda: make_buffer_manager("dt"),
+                         **spec.resolved_topology_params())
+
+
+def test_fat_tree_auto_partition_cuts_at_agg_core_links():
+    topology = _build_topology(_spec())
+    partition = partition_topology(topology, 2)
+    assert partition.strategy == "pods"
+    assert partition.num_shards == 2
+    # Exact node cover: every switch and host owned exactly once.
+    network = topology.network
+    expected = set(network.switch_nodes) | {f"h{h}" for h in network.hosts}
+    assert set(partition.assignment) == expected
+    # Pod cut: only agg<->core links cross shards, every one with the
+    # positive core-tier delay, and the lookahead is their minimum.
+    assert partition.cut_links
+    for src, dst in partition.cut_links:
+        assert {src[:3], dst[:3]} == {"agg", "cor"}
+    delays = [network.links[pair].link.delay for pair in partition.cut_links]
+    assert all(d > 0 for d in delays)
+    assert partition.lookahead == min(delays)
+
+
+def test_partition_rejects_more_shards_than_pods():
+    topology = _build_topology(_spec())  # k=4 -> at most 4 pod shards
+    with pytest.raises(ValueError, match="at most one shard per pod"):
+        partition_topology(topology, 8)
+
+
+def test_partition_rejects_unknown_strategy_and_bad_counts():
+    topology = _build_topology(_spec())
+    with pytest.raises(ValueError, match="unknown partition strategy"):
+        partition_topology(topology, 2, "metis")
+    with pytest.raises(ValueError, match="num_shards must be >= 1"):
+        partition_topology(topology, 0)
+
+
+def test_runner_validate_rejects_unpartitionable_specs():
+    from repro.perf.cases import get_case
+    from repro.scenario.runner import ScenarioRunner
+
+    # Switch-level topologies have no link graph to cut.
+    raw = get_case("raw_switch_stream/small").build()
+    raw = replace(raw, engine=EngineSpec(shards=2))
+    with pytest.raises(ValueError, match="network-level topology"):
+        ScenarioRunner().validate(raw)
+
+
+def test_validate_spec_file_resolves_the_partition(tmp_path):
+    from repro.scenario.experiment import validate_spec_file
+
+    document = _spec().to_dict()
+    document["engine"] = {"shards": 8}  # k=4: only 4 pods
+    path = tmp_path / "overcut.json"
+    path.write_text(json.dumps(document))
+    with pytest.raises(ValueError, match="at most one shard per pod"):
+        validate_spec_file(str(path))
+
+
+# ----------------------------------------------------------------------
+# Byte-identity ladder: in process
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_byte_identical_to_oracle_in_process(shards):
+    assert _run_to_json(_spec(shards)) == _run_to_json(_spec())
+
+
+def test_sharded_repeated_run_byte_identical_in_process():
+    assert _run_to_json(_spec(2)) == _run_to_json(_spec(2))
+
+
+def test_shard_stats_ride_outside_the_canonical_document():
+    reset_workload_ids()
+    result = run_scenario(_spec(2))
+    stats = result.shard_stats
+    assert stats["partition"]["num_shards"] == 2
+    assert stats["rounds"] > 0
+    assert len(stats["shards"]) == 2
+    for row in stats["shards"]:
+        assert row["events"] > 0
+        assert row["nodes"] > 0
+        assert row["peak_rss_kb"] > 0
+    # Handoffs are conserved: every record sent was delivered somewhere.
+    assert (sum(r["handoffs_out"] for r in stats["shards"])
+            == sum(r["handoffs_in"] for r in stats["shards"]) > 0)
+    assert "shard_stats" not in result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Byte-identity ladder: serial vs parallel campaign workers
+# ----------------------------------------------------------------------
+def test_sharded_serial_vs_parallel_campaign_identical():
+    document = _spec(2).to_dict()
+    specs = [
+        RunSpec(experiment="scenario", scale="-", seed=seed,
+                params={"scenario": document})
+        for seed in (0, 1)
+    ]
+    serial = CampaignExecutor(jobs=1).run(specs)
+    parallel = CampaignExecutor(jobs=2).run(specs)
+    assert all(outcome.ok for outcome in serial)
+    assert all(outcome.ok for outcome in parallel)
+    serial_docs = [json.dumps(o.result.to_dict(), sort_keys=True)
+                   for o in serial]
+    parallel_docs = [json.dumps(o.result.to_dict(), sort_keys=True)
+                     for o in parallel]
+    assert serial_docs == parallel_docs
+
+
+# ----------------------------------------------------------------------
+# Byte-identity ladder: fresh interpreters with hash randomization
+# ----------------------------------------------------------------------
+_CHILD_SCRIPT = """
+import json, sys
+from dataclasses import replace
+from repro.scenario import EngineSpec, ScenarioSpec, run_scenario
+from repro.workloads import reset_workload_ids
+
+spec = ScenarioSpec.from_file(sys.argv[1])
+spec.duration = 0.0015
+spec = replace(spec, engine=EngineSpec(shards=int(sys.argv[2])))
+reset_workload_ids()
+document = run_scenario(spec).to_dict()
+document["spec"].pop("engine", None)
+print(json.dumps(document, sort_keys=True))
+"""
+
+
+def test_sharded_two_fresh_processes_byte_identical():
+    def run_child() -> str:
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT,
+             str(EXAMPLES_DIR / "scenario_fattree_websearch.json"), "2"],
+            capture_output=True, text=True, timeout=240,
+            env={"PYTHONPATH": str(SRC_DIR), "PYTHONHASHSEED": "random"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    first = run_child()
+    assert first == run_child()
+    # The fresh sharded processes also agree with the in-process oracle.
+    assert first.strip() == _run_to_json(_spec())
+
+
+# ----------------------------------------------------------------------
+# Telemetry and static fabric state survive the merge byte-for-byte
+# ----------------------------------------------------------------------
+def test_sharded_with_telemetry_byte_identical_to_oracle():
+    from repro.scenario.spec import TelemetrySpec
+
+    def spec(shards: int) -> ScenarioSpec:
+        base = _spec(shards)
+        return replace(base, telemetry=TelemetrySpec(enabled=True))
+
+    assert _run_to_json(spec(2)) == _run_to_json(spec(1))
+
+
+# ----------------------------------------------------------------------
+# Crash containment: one dead shard fails the run loudly, never hangs
+# ----------------------------------------------------------------------
+def test_one_crashing_shard_raises_shard_crash_with_traceback(monkeypatch):
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fault injection via monkeypatch needs fork workers")
+    import repro.sim.shard as shard_mod
+
+    original_run = shard_mod._ShardWorker.run
+
+    def sabotaged(self):
+        if self.shard == 1:
+            raise RuntimeError("synthetic shard fault")
+        return original_run(self)
+
+    # Fork workers inherit the patched class, so exactly shard 1 dies.
+    monkeypatch.setattr(shard_mod._ShardWorker, "run", sabotaged)
+    reset_workload_ids()
+    with pytest.raises(ShardCrash) as excinfo:
+        run_scenario(_spec(2))
+    message = str(excinfo.value)
+    assert "shard 1" in message
+    assert "synthetic shard fault" in message
+    assert "Traceback" in message  # the worker's own stack, not the parent's
